@@ -1,0 +1,40 @@
+//! E12 benchmark: duplicate combining versus naive per-operation execution of
+//! a duplicate-heavy batch (the Ω(b log n) blow-up of Section 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wsm_bench::run_batched;
+use wsm_core::M1;
+use wsm_model::MapOpKind;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_combine");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let keyspace = 1u64 << 12;
+    let load: Vec<MapOpKind<u64>> = (0..keyspace).map(MapOpKind::Insert).collect();
+    for dup in [256usize, 1024] {
+        let dups: Vec<MapOpKind<u64>> =
+            std::iter::repeat_n(MapOpKind::Search(keyspace / 2), dup).collect();
+        group.bench_with_input(BenchmarkId::new("combined", dup), &dups, |b, dups| {
+            b.iter(|| {
+                let mut m = M1::new(8);
+                run_batched(&mut m, &load, 64);
+                run_batched(&mut m, dups, 64)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_per_op", dup), &dups, |b, dups| {
+            b.iter(|| {
+                let mut m = M1::new(8);
+                run_batched(&mut m, &load, 64);
+                run_batched(&mut m, dups, 1)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

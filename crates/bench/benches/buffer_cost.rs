@@ -1,0 +1,34 @@
+//! E7 benchmark: parallel buffer deposit + flush throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wsm_core::ParallelBuffer;
+
+fn bench_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_buffer");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for shards in [4usize, 16, 64] {
+        for batch in [1usize << 8, 1 << 12] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("shards{shards}"), batch),
+                &batch,
+                |b, &batch| {
+                    b.iter(|| {
+                        let buf: ParallelBuffer<u64> = ParallelBuffer::new(shards);
+                        for i in 0..batch as u64 {
+                            buf.push(i as usize, i);
+                        }
+                        buf.flush()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffer);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E8 benchmark: ESort against `std` sorting on inputs of varying entropy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wsm_sort::esort;
+
+fn inputs(n: usize) -> Vec<(&'static str, Vec<u64>)> {
+    let mut state = 5u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    vec![
+        ("constant", vec![7u64; n]),
+        ("low_entropy", (0..n).map(|_| next() % 8).collect()),
+        ("high_entropy", (0..n).map(|_| next()).collect()),
+    ]
+}
+
+fn bench_esort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("esort");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for (name, items) in inputs(1 << 13) {
+        group.bench_with_input(BenchmarkId::new("esort", name), &items, |b, items| {
+            b.iter(|| esort(items))
+        });
+        group.bench_with_input(BenchmarkId::new("std_sort", name), &items, |b, items| {
+            b.iter(|| {
+                let mut v = items.clone();
+                v.sort_unstable();
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_esort);
+criterion_main!(benches);

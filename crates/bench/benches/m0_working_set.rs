@@ -1,0 +1,41 @@
+//! E1/E2 benchmark: sequential working-set structures (M0, Iacono) and
+//! baselines (splay, AVL) across access patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wsm_bench::run_sequential;
+use wsm_seq::{AvlMap, IaconoMap, SplayMap, M0};
+use wsm_workloads::{Pattern, WorkloadSpec};
+
+fn bench_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential_working_set");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let keyspace = 1u64 << 12;
+    let operations = 1usize << 13;
+    for (name, pattern) in [
+        ("hotset", Pattern::HotSet { hot: 8, miss_rate: 0.02 }),
+        ("zipf1", Pattern::Zipf(1.0)),
+        ("uniform", Pattern::Uniform),
+    ] {
+        let ops = WorkloadSpec::read_only(keyspace, operations, pattern, 1).full_sequence();
+        group.bench_with_input(BenchmarkId::new("M0", name), &ops, |b, ops| {
+            b.iter(|| run_sequential(&mut M0::new(), ops))
+        });
+        group.bench_with_input(BenchmarkId::new("Iacono", name), &ops, |b, ops| {
+            b.iter(|| run_sequential(&mut IaconoMap::new(), ops))
+        });
+        group.bench_with_input(BenchmarkId::new("Splay", name), &ops, |b, ops| {
+            b.iter(|| run_sequential(&mut SplayMap::new(), ops))
+        });
+        group.bench_with_input(BenchmarkId::new("AVL", name), &ops, |b, ops| {
+            b.iter(|| run_sequential(&mut AvlMap::new(), ops))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential);
+criterion_main!(benches);

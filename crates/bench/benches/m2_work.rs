@@ -1,0 +1,36 @@
+//! E5/E6 benchmark: M2 pipelined processing across access patterns and
+//! processor counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wsm_bench::run_batched;
+use wsm_core::M2;
+use wsm_workloads::{Pattern, WorkloadSpec};
+
+fn bench_m2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("m2_work");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let keyspace = 1u64 << 12;
+    let operations = 1usize << 13;
+    for (name, pattern) in [
+        ("hotset", Pattern::HotSet { hot: 8, miss_rate: 0.02 }),
+        ("zipf1", Pattern::Zipf(1.0)),
+        ("uniform", Pattern::Uniform),
+    ] {
+        let ops = WorkloadSpec::read_only(keyspace, operations, pattern, 2).full_sequence();
+        for p in [4usize, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("p{p}"), name),
+                &ops,
+                |b, ops| b.iter(|| run_batched(&mut M2::new(p), ops, p * p)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_m2);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E9 benchmark: PESort (parallel entropy sort) against `std` stable and
+//! unstable sorts on inputs of varying entropy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wsm_sort::{pesort, pesort_group};
+
+fn inputs(n: usize) -> Vec<(&'static str, Vec<u64>)> {
+    let mut state = 6u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    vec![
+        ("low_entropy", (0..n).map(|_| next() % 8).collect()),
+        ("medium_entropy", (0..n).map(|_| next() % 4096).collect()),
+        ("high_entropy", (0..n).map(|_| next()).collect()),
+    ]
+}
+
+fn bench_pesort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pesort");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for (name, items) in inputs(1 << 15) {
+        group.bench_with_input(BenchmarkId::new("pesort", name), &items, |b, items| {
+            b.iter(|| pesort(items.clone()))
+        });
+        group.bench_with_input(BenchmarkId::new("pesort_group", name), &items, |b, items| {
+            b.iter(|| pesort_group(items))
+        });
+        group.bench_with_input(BenchmarkId::new("std_sort", name), &items, |b, items| {
+            b.iter(|| {
+                let mut v = items.clone();
+                v.sort_unstable();
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pesort);
+criterion_main!(benches);

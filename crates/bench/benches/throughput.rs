@@ -1,0 +1,108 @@
+//! E11 benchmark: wall-clock throughput of the implicitly-batched concurrent
+//! working-set maps against coarse-locked self-adjusting and balanced
+//! baselines, under real threads and a skewed access pattern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+use wsm_core::{ConcurrentMap, Operation, M1};
+use wsm_seq::{AvlMap, InstrumentedMap, SplayMap};
+use wsm_workloads::{Pattern, WorkloadSpec};
+
+const KEYSPACE: u64 = 1 << 12;
+const OPS_PER_THREAD: usize = 2_000;
+
+fn keys_for(pattern: Pattern, seed: u64) -> Vec<u64> {
+    WorkloadSpec::read_only(KEYSPACE, OPS_PER_THREAD, pattern, seed)
+        .access_phase()
+        .iter()
+        .map(|op| *op.key())
+        .collect()
+}
+
+fn run_concurrent_wsm(threads: usize, pattern: Pattern) {
+    let mut inner = M1::<u64, u64>::new(threads.max(2));
+    inner.run_ops((0..KEYSPACE).map(|k| Operation::Insert(k, k)).collect());
+    let map = Arc::new(ConcurrentMap::new(inner, threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let map = Arc::clone(&map);
+            let keys = keys_for(pattern, t as u64);
+            std::thread::spawn(move || {
+                for k in keys {
+                    std::hint::black_box(map.search(t, k));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn run_locked<M>(threads: usize, pattern: Pattern, map: Arc<Mutex<M>>)
+where
+    M: InstrumentedMap<u64, u64> + Send + 'static,
+{
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let map = Arc::clone(&map);
+            let keys = keys_for(pattern, t as u64);
+            std::thread::spawn(move || {
+                for k in keys {
+                    std::hint::black_box(map.lock().search(&k).0);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let pattern = Pattern::Zipf(1.0);
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("implicit_batched_M1", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_concurrent_wsm(threads, pattern)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("locked_splay", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut splay = SplayMap::new();
+                    for k in 0..KEYSPACE {
+                        splay.insert_item(k, k);
+                    }
+                    run_locked(threads, pattern, Arc::new(Mutex::new(splay)))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("locked_avl", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut avl = AvlMap::new();
+                    for k in 0..KEYSPACE {
+                        avl.insert_item(k, k);
+                    }
+                    run_locked(threads, pattern, Arc::new(Mutex::new(avl)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Substrate benchmark: batched parallel 2-3 tree operations against
+//! `std::collections::BTreeMap` (single-threaded) on the same batches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+use std::time::Duration;
+use wsm_twothree::Tree23;
+
+fn bench_twothree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("twothree");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for n in [1usize << 12, 1 << 15] {
+        let items: Vec<(u64, u64)> = (0..n as u64).map(|i| (i * 2, i)).collect();
+        let probe: Vec<u64> = (0..n as u64).collect();
+        group.bench_with_input(BenchmarkId::new("batch_insert", n), &items, |b, items| {
+            b.iter(|| {
+                let mut t: Tree23<u64, u64> = Tree23::new();
+                t.batch_insert(items.clone());
+                t
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("par_batch_insert", n),
+            &items,
+            |b, items| {
+                b.iter(|| {
+                    let mut t: Tree23<u64, u64> = Tree23::new();
+                    t.par_batch_insert(items.clone());
+                    t
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("btreemap_insert", n), &items, |b, items| {
+            b.iter(|| {
+                let mut t: BTreeMap<u64, u64> = BTreeMap::new();
+                for (k, v) in items.clone() {
+                    t.insert(k, v);
+                }
+                t
+            })
+        });
+        let tree: Tree23<u64, u64> = items.iter().cloned().collect();
+        group.bench_with_input(BenchmarkId::new("batch_get", n), &probe, |b, probe| {
+            b.iter(|| tree.batch_get(probe))
+        });
+        group.bench_with_input(BenchmarkId::new("par_batch_get", n), &probe, |b, probe| {
+            b.iter(|| tree.par_batch_get(probe))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_twothree);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! The experiment harness: regenerates every table recorded in EXPERIMENTS.md.
+//!
+//! Usage:
+//! ```text
+//! harness [e1|e3|e4|e6|e7|e8|e10|e12|e13|e14|all] [--small]
+//! ```
+//! With no argument, all experiments run at their default (paper-shaped)
+//! sizes; `--small` shrinks them for a quick smoke run.
+
+use wsm_bench as bench;
+
+struct Sizes {
+    keyspace: u64,
+    operations: usize,
+    sort_n: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let which = if which.is_empty() { vec!["all"] } else { which };
+    let sizes = if small {
+        Sizes {
+            keyspace: 1 << 10,
+            operations: 1 << 12,
+            sort_n: 1 << 12,
+        }
+    } else {
+        Sizes {
+            keyspace: 1 << 14,
+            operations: 1 << 16,
+            sort_n: 1 << 15,
+        }
+    };
+
+    let run = |name: &str| which.contains(&"all") || which.contains(&name);
+
+    if run("e1") || run("e2") {
+        bench::print_table(
+            "E1/E2: sequential working-set structures vs W_L (work ratio)",
+            &bench::experiment_sequential_ws(sizes.keyspace, sizes.operations),
+        );
+    }
+    if run("e3") || run("e5") {
+        bench::print_table(
+            "E3/E5: M1 and M2 effective work vs W_L",
+            &bench::experiment_parallel_work(sizes.keyspace, sizes.operations / 2, &[2, 4, 8, 16]),
+        );
+    }
+    if run("e4") {
+        bench::print_table(
+            "E4: M1 effective span per batch vs (log p)^2 + log n",
+            &bench::experiment_m1_span(sizes.keyspace, sizes.operations / 2, &[2, 4, 8, 16, 32]),
+        );
+    }
+    if run("e6") {
+        bench::print_table(
+            "E6: M2 per-operation pipeline latency by recency",
+            &bench::experiment_m2_latency(sizes.keyspace, 8),
+        );
+    }
+    if run("e7") {
+        bench::print_table(
+            "E7: parallel buffer flush cost",
+            &bench::experiment_buffer_cost(&[4, 16, 64]),
+        );
+    }
+    if run("e8") || run("e9") {
+        bench::print_table(
+            "E8/E9: ESort and PESort work vs the entropy bound",
+            &bench::experiment_sorting(sizes.sort_n),
+        );
+    }
+    if run("e10") {
+        bench::print_table(
+            "E10: static optimality (M1 work vs optimal static BST)",
+            &bench::experiment_static_optimality(sizes.keyspace, sizes.operations / 2),
+        );
+    }
+    if run("e12") {
+        bench::print_table(
+            "E12: ablation — duplicate combining vs naive per-op execution",
+            &bench::experiment_combine_ablation(sizes.keyspace, 1 << 10),
+        );
+    }
+    if run("e13") {
+        bench::print_table(
+            "E13: pipelining — M1 vs M2 latency for hot ops behind cold misses",
+            &bench::experiment_pipelining(sizes.keyspace, 8),
+        );
+    }
+    if run("e14") {
+        bench::print_table(
+            "E14: runtime invariant checks (Lemma 16 style)",
+            &bench::experiment_invariants(sizes.keyspace.min(1 << 12), sizes.operations.min(1 << 14)),
+        );
+    }
+}

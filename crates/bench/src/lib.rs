@@ -1,0 +1,485 @@
+//! # wsm-bench — experiment harness library
+//!
+//! Helper routines shared by the Criterion benches and the `harness` binary.
+//! Each `eN` function regenerates one experiment from DESIGN.md /
+//! EXPERIMENTS.md and returns printable rows; the harness binary formats them
+//! as the tables recorded in EXPERIMENTS.md.
+
+use serde::Serialize;
+use wsm_core::{BatchedMap, OpId, Operation, TaggedOp, M1, M2};
+use wsm_model::{working_set_bound, Cost, MapOpKind};
+use wsm_seq::{AvlMap, IaconoMap, InstrumentedMap, SplayMap, M0};
+use wsm_workloads::{analysis, Pattern, WorkloadSpec};
+
+/// A generic experiment row: a label plus named numeric columns.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Row label (workload, structure or parameter value).
+    pub label: String,
+    /// Named numeric columns in display order.
+    pub values: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>, values: Vec<(&str, f64)>) -> Self {
+        Row {
+            label: label.into(),
+            values: values
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+}
+
+/// Prints rows as an aligned ASCII table.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    if rows.is_empty() {
+        println!("(no rows)");
+        return;
+    }
+    let mut header = vec!["workload".to_string()];
+    header.extend(rows[0].values.iter().map(|(k, _)| k.clone()));
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len().max(12)).collect();
+    widths[0] = widths[0].max(rows.iter().map(|r| r.label.len()).max().unwrap_or(8));
+    print!("{:<w$}", header[0], w = widths[0] + 2);
+    for (h, w) in header[1..].iter().zip(&widths[1..]) {
+        print!("{h:>w$}", w = w + 2);
+    }
+    println!();
+    for row in rows {
+        print!("{:<w$}", row.label, w = widths[0] + 2);
+        for ((_, v), w) in row.values.iter().zip(&widths[1..]) {
+            print!("{:>w$.2}", v, w = w + 2);
+        }
+        println!();
+    }
+}
+
+/// Converts analysis-level operations into concrete map operations (values
+/// equal keys).
+pub fn to_operations(kinds: &[MapOpKind<u64>]) -> Vec<Operation<u64, u64>> {
+    kinds
+        .iter()
+        .map(|k| match k {
+            MapOpKind::Search(k) => Operation::Search(*k),
+            MapOpKind::Insert(k) => Operation::Insert(*k, *k),
+            MapOpKind::Delete(k) => Operation::Delete(*k),
+        })
+        .collect()
+}
+
+/// Runs a sequence of operations one by one on an instrumented sequential map,
+/// returning the total cost.
+pub fn run_sequential<M: InstrumentedMap<u64, u64>>(map: &mut M, ops: &[MapOpKind<u64>]) -> Cost {
+    let mut total = Cost::ZERO;
+    for op in ops {
+        let (_, c) = match op {
+            MapOpKind::Search(k) => map.search(k),
+            MapOpKind::Insert(k) => map.insert(*k, *k),
+            MapOpKind::Delete(k) => map.remove(k),
+        };
+        total += c;
+    }
+    total
+}
+
+/// Runs a sequence of operations on a batched map, feeding them as input
+/// batches of the given size (emulating rounds of `width` concurrent calls).
+/// Returns the total cost charged by the map.
+pub fn run_batched<M: BatchedMap<u64, u64>>(
+    map: &mut M,
+    ops: &[MapOpKind<u64>],
+    batch_size: usize,
+) -> Cost {
+    let mut total = Cost::ZERO;
+    let mut next_id: OpId = 0;
+    for chunk in to_operations(ops).chunks(batch_size.max(1)) {
+        let batch: Vec<TaggedOp<u64, u64>> = chunk
+            .iter()
+            .cloned()
+            .map(|op| {
+                let t = TaggedOp { id: next_id, op };
+                next_id += 1;
+                t
+            })
+            .collect();
+        let (_, c) = map.run_batch(batch);
+        total += c;
+    }
+    total
+}
+
+/// The standard workload suite used by several experiments.
+pub fn standard_suite(keyspace: u64, operations: usize, seed: u64) -> Vec<(&'static str, WorkloadSpec)> {
+    vec![
+        (
+            "hot-set (8 keys, 2% miss)",
+            WorkloadSpec::read_only(keyspace, operations, Pattern::HotSet { hot: 8, miss_rate: 0.02 }, seed),
+        ),
+        (
+            "working-set (w=64, 10% miss)",
+            WorkloadSpec::read_only(
+                keyspace,
+                operations,
+                Pattern::WorkingSet { window: 64, miss_rate: 0.1 },
+                seed,
+            ),
+        ),
+        (
+            "zipf s=1.0",
+            WorkloadSpec::read_only(keyspace, operations, Pattern::Zipf(1.0), seed),
+        ),
+        (
+            "uniform",
+            WorkloadSpec::read_only(keyspace, operations, Pattern::Uniform, seed),
+        ),
+        (
+            "adversarial (LRU scan)",
+            WorkloadSpec::read_only(keyspace, operations, Pattern::Adversarial, seed),
+        ),
+    ]
+}
+
+/// E1/E2: sequential working-set structures (M0, Iacono) against the
+/// working-set bound, with splay and AVL baselines.
+pub fn experiment_sequential_ws(keyspace: u64, operations: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (name, spec) in standard_suite(keyspace, operations, 1) {
+        let ops = spec.full_sequence();
+        let wl = working_set_bound(&ops) as f64;
+        let m0 = run_sequential(&mut M0::new(), &ops).work as f64;
+        let iacono = run_sequential(&mut IaconoMap::new(), &ops).work as f64;
+        let splay = run_sequential(&mut SplayMap::new(), &ops).work as f64;
+        let avl = run_sequential(&mut AvlMap::new(), &ops).work as f64;
+        rows.push(Row::new(
+            name,
+            vec![
+                ("W_L", wl),
+                ("M0/W_L", m0 / wl),
+                ("Iacono/W_L", iacono / wl),
+                ("Splay/W_L", splay / wl),
+                ("AVL/W_L", avl / wl),
+            ],
+        ));
+    }
+    rows
+}
+
+/// E3/E5: effective work of M1 and M2 against the working-set bound, per
+/// processor count.
+pub fn experiment_parallel_work(keyspace: u64, operations: usize, ps: &[usize]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (name, spec) in standard_suite(keyspace, operations, 2) {
+        let ops = spec.full_sequence();
+        let wl = working_set_bound(&ops) as f64;
+        for &p in ps {
+            let mut m1 = M1::new(p);
+            let w1 = run_batched(&mut m1, &ops, p * p);
+            let mut m2 = M2::new(p);
+            let w2 = run_batched(&mut m2, &ops, p * p);
+            rows.push(Row::new(
+                format!("{name} p={p}"),
+                vec![
+                    ("W_L", wl),
+                    ("M1 work/W_L", w1.work as f64 / wl),
+                    ("M2 work/W_L", w2.work as f64 / wl),
+                ],
+            ));
+        }
+    }
+    rows
+}
+
+/// E4: effective span of M1 per batch against the `(log p)^2 + log n` shape.
+pub fn experiment_m1_span(keyspace: u64, operations: usize, ps: &[usize]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let spec = WorkloadSpec::read_only(keyspace, operations, Pattern::Zipf(1.0), 3);
+    let ops = spec.full_sequence();
+    for &p in ps {
+        let mut m1 = M1::new(p);
+        run_batched(&mut m1, &ops, p * p);
+        let max_span = m1
+            .batch_log()
+            .iter()
+            .map(|b| b.cost.span)
+            .max()
+            .unwrap_or(0) as f64;
+        let avg_span = m1.batch_log().iter().map(|b| b.cost.span).sum::<u64>() as f64
+            / m1.batch_log().len().max(1) as f64;
+        let logp = (p as f64).log2();
+        let logn = (keyspace as f64).log2();
+        let bound = logp * logp + logn;
+        rows.push(Row::new(
+            format!("p={p}"),
+            vec![
+                ("avg batch span", avg_span),
+                ("max batch span", max_span),
+                ("(log p)^2+log n", bound),
+                ("max/bound", max_span / bound),
+            ],
+        ));
+    }
+    rows
+}
+
+/// E6: per-operation pipeline latency of M2 by access recency.
+pub fn experiment_m2_latency(keyspace: u64, p: usize) -> Vec<Row> {
+    let mut m2 = M2::new(p);
+    let load: Vec<MapOpKind<u64>> = (0..keyspace).map(MapOpKind::Insert).collect();
+    run_batched(&mut m2, &load, p * p);
+    // Touch a hot set, then measure latency of hot vs progressively colder
+    // keys.
+    let hot: Vec<MapOpKind<u64>> = (0..8).map(MapOpKind::Search).collect();
+    run_batched(&mut m2, &hot, p * p);
+    let mut rows = Vec::new();
+    for (label, key) in [
+        ("hot (rank ~8)", 1u64),
+        ("warm (rank ~n/16)", keyspace / 16),
+        ("cool (rank ~n/4)", keyspace / 4),
+        ("cold (rank ~n)", keyspace - 2),
+    ] {
+        let before = m2.latencies().len();
+        run_batched(&mut m2, &[MapOpKind::Search(key)], p * p);
+        let lat: u64 = m2.latencies()[before..].iter().map(|l| l.latency()).sum();
+        rows.push(Row::new(
+            label,
+            vec![
+                ("latency (virtual steps)", lat as f64),
+                ("log2(rank) proxy", ((key + 2) as f64).log2()),
+            ],
+        ));
+    }
+    rows
+}
+
+/// E7: parallel buffer effective cost per flushed batch size.
+pub fn experiment_buffer_cost(ps: &[usize]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &p in ps {
+        for b in [p, p * p, p * p * 16] {
+            let cost = wsm_core::ParallelBuffer::<u64>::flush_cost(p as u64, b as u64);
+            rows.push(Row::new(
+                format!("p={p} b={b}"),
+                vec![
+                    ("work", cost.work as f64),
+                    ("span", cost.span as f64),
+                    ("work/(p+b)", cost.work as f64 / (p + b) as f64),
+                ],
+            ));
+        }
+    }
+    rows
+}
+
+/// E8/E9: sorting cost against the entropy bound.
+pub fn experiment_sorting(n: usize) -> Vec<Row> {
+    use wsm_model::entropy_bound;
+    use wsm_sort::{esort, pesort};
+    let mut rows = Vec::new();
+    let mut state = 99u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let inputs: Vec<(&str, Vec<u64>)> = vec![
+        ("constant", vec![7; n]),
+        ("two values", (0..n).map(|i| (i % 2) as u64).collect()),
+        ("16 values skewed", (0..n).map(|_| if next() % 10 < 9 { 0 } else { next() % 16 }).collect()),
+        ("256 values", (0..n).map(|_| next() % 256).collect()),
+        ("uniform", (0..n).map(|_| next()).collect()),
+    ];
+    for (name, items) in inputs {
+        let bound = entropy_bound(&items);
+        let (_, e_cost) = esort(&items);
+        let (_, p_cost) = pesort(items.clone());
+        rows.push(Row::new(
+            name,
+            vec![
+                ("n(H+1)", bound),
+                ("ESort work/bound", e_cost.work as f64 / bound),
+                ("PESort work/bound", p_cost.work as f64 / bound),
+                ("PESort span", p_cost.span as f64),
+            ],
+        ));
+    }
+    rows
+}
+
+/// E10: static optimality — M1 total work against the optimal static BST cost
+/// on Zipfian workloads.
+pub fn experiment_static_optimality(keyspace: u64, operations: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for alpha in [0.5f64, 0.75, 1.0, 1.25] {
+        let spec = WorkloadSpec::read_only(keyspace, operations, Pattern::Zipf(alpha), 5);
+        let ops = spec.full_sequence();
+        let accesses: Vec<u64> = spec.access_phase().iter().map(|o| *o.key()).collect();
+        let static_cost = analysis::static_tree_cost_for(&accesses) as f64;
+        let optimal_proxy = analysis::optimal_static_bst_cost(&accesses);
+        let mut m1 = M1::new(8);
+        let work = run_batched(&mut m1, &ops, 64).work as f64;
+        rows.push(Row::new(
+            format!("zipf s={alpha}"),
+            vec![
+                ("static tree cost", static_cost),
+                ("entropy lower bound", optimal_proxy),
+                ("M1 work", work),
+                ("M1/static", work / static_cost),
+            ],
+        ));
+    }
+    rows
+}
+
+/// E12: ablation — duplicate-combining batches versus executing each
+/// duplicate operation as its own singleton batch (the Ω(b log n) blow-up of
+/// Section 3).
+pub fn experiment_combine_ablation(keyspace: u64, dup: usize) -> Vec<Row> {
+    let load: Vec<MapOpKind<u64>> = (0..keyspace).map(MapOpKind::Insert).collect();
+    let hot_key = keyspace / 2;
+    let dups: Vec<MapOpKind<u64>> = std::iter::repeat_n(MapOpKind::Search(hot_key), dup).collect();
+
+    // Combined: all duplicates arrive in batches and are grouped.
+    let mut combined = M1::new(8);
+    run_batched(&mut combined, &load, 64);
+    let before = combined.effective_work();
+    run_batched(&mut combined, &dups, 64);
+    let combined_work = (combined.effective_work() - before) as f64;
+
+    // Naive: one operation per batch — no duplicates can combine.
+    let mut naive = M1::new(8);
+    run_batched(&mut naive, &load, 64);
+    let before = naive.effective_work();
+    run_batched(&mut naive, &dups, 1);
+    let naive_work = (naive.effective_work() - before) as f64;
+
+    vec![Row::new(
+        format!("{dup} searches for one key, n={keyspace}"),
+        vec![
+            ("combined work", combined_work),
+            ("naive per-op work", naive_work),
+            ("naive/combined", naive_work / combined_work),
+            ("b log n", dup as f64 * (keyspace as f64).log2()),
+        ],
+    )]
+}
+
+/// E13: M1 versus M2 latency when an expensive (cold) operation precedes a
+/// stream of cheap (hot) operations — the pipelining pay-off.
+pub fn experiment_pipelining(keyspace: u64, p: usize) -> Vec<Row> {
+    // M2: measure average latency of hot operations that share batches with
+    // cold misses.
+    let mut m2 = M2::new(p);
+    let load: Vec<MapOpKind<u64>> = (0..keyspace).map(MapOpKind::Insert).collect();
+    run_batched(&mut m2, &load, p * p);
+    run_batched(&mut m2, &[MapOpKind::Search(1)], p * p);
+    let mixed: Vec<MapOpKind<u64>> = (0..64u64)
+        .map(|i| {
+            if i % 8 == 0 {
+                MapOpKind::Search(keyspace - 1 - i) // cold
+            } else {
+                MapOpKind::Search(1) // hot
+            }
+        })
+        .collect();
+    let before = m2.latencies().len();
+    run_batched(&mut m2, &mixed, p * p);
+    let records = &m2.latencies()[before..];
+    let avg_m2 = records.iter().map(|l| l.latency()).sum::<u64>() as f64 / records.len().max(1) as f64;
+
+    // M1: every operation in a batch waits for the whole batch, so the cheap
+    // operations inherit the cold operations' span.
+    let mut m1 = M1::new(p);
+    run_batched(&mut m1, &load, p * p);
+    run_batched(&mut m1, &[MapOpKind::Search(1)], p * p);
+    let before_batches = m1.batch_log().len();
+    run_batched(&mut m1, &mixed, p * p);
+    let avg_m1 = m1.batch_log()[before_batches..]
+        .iter()
+        .map(|b| b.cost.span)
+        .sum::<u64>() as f64
+        / (m1.batch_log().len() - before_batches).max(1) as f64;
+
+    vec![Row::new(
+        format!("hot stream with cold misses, n={keyspace}, p={p}"),
+        vec![
+            ("M1 avg batch span (per-op latency proxy)", avg_m1),
+            ("M2 avg per-op latency", avg_m2),
+            ("M1/M2", avg_m1 / avg_m2.max(1.0)),
+        ],
+    )]
+}
+
+/// E14: runtime invariant checking of M1 and M2 over mixed workloads.
+pub fn experiment_invariants(keyspace: u64, operations: usize) -> Vec<Row> {
+    let mut spec = WorkloadSpec::read_only(keyspace, operations, Pattern::Zipf(1.0), 7);
+    spec.update_fraction = 0.3;
+    let ops = spec.full_sequence();
+    let mut m1 = M1::new(4);
+    let mut m2 = M2::new(4);
+    let mut checks = 0u64;
+    for chunk in to_operations(&ops).chunks(64) {
+        let batch: Vec<TaggedOp<u64, u64>> = chunk
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, op)| TaggedOp { id: i as OpId, op })
+            .collect();
+        m1.run_batch(batch.clone());
+        m2.run_batch(batch);
+        m1.check_invariants();
+        m2.check_invariants();
+        checks += 2;
+    }
+    vec![Row::new(
+        format!("zipf+30% updates, n={keyspace}, {operations} ops"),
+        vec![
+            ("invariant checks passed", checks as f64),
+            ("final size M1", m1.len() as f64),
+            ("final size M2", m2.len() as f64),
+        ],
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_and_rows_are_well_formed() {
+        let rows = experiment_buffer_cost(&[2, 4]);
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|r| r.values.len() == 3));
+    }
+
+    #[test]
+    fn sequential_experiment_shows_adaptivity() {
+        let rows = experiment_sequential_ws(1 << 8, 1 << 10);
+        // On the hot-set workload M0 must be within a constant factor of W_L.
+        let hot = &rows[0];
+        let ratio = hot.values.iter().find(|(k, _)| k == "M0/W_L").unwrap().1;
+        assert!(ratio < 30.0, "M0/W_L ratio {ratio} too large");
+    }
+
+    #[test]
+    fn combine_ablation_shows_blowup() {
+        let rows = experiment_combine_ablation(1 << 10, 256);
+        let ratio = rows[0]
+            .values
+            .iter()
+            .find(|(k, _)| k == "naive/combined")
+            .unwrap()
+            .1;
+        assert!(ratio > 1.5, "naive execution should be clearly worse, got {ratio}");
+    }
+
+    #[test]
+    fn invariant_experiment_passes() {
+        let rows = experiment_invariants(1 << 9, 1 << 11);
+        assert!(rows[0].values[0].1 > 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! The parallel buffer for implicit batching (Appendix A.1, Theorem 26).
+//!
+//! Every call a program makes to the map is first deposited into the map's
+//! parallel buffer; when the map becomes ready it *flushes* the buffer and
+//! receives the accumulated calls as one input batch.  The paper implements
+//! the buffer as a static balanced tree of per-processor sub-buffers with
+//! test-and-set flags on the internal nodes; here each submitting thread owns
+//! a *shard* (a mutex-protected vector that is effectively uncontended) and
+//! the flush swaps all shards out and concatenates them — the flat-combining
+//! realisation described in DESIGN.md substitution #4.  The analytic cost per
+//! flushed batch of size `b` is `O(p + b)` work and `O(log p + log b)` span,
+//! matching Theorem 26's requirements.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use wsm_model::{ceil_log2, Cost};
+use wsm_sync::Activation;
+
+/// A sharded buffer of pending calls plus the activation interface used to
+/// wake the data structure when work arrives.
+#[derive(Debug)]
+pub struct ParallelBuffer<T> {
+    shards: Vec<Mutex<Vec<T>>>,
+    pending: AtomicUsize,
+    activation: Activation,
+}
+
+impl<T> ParallelBuffer<T> {
+    /// Creates a buffer with one shard per expected submitting processor.
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ParallelBuffer {
+            shards: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            pending: AtomicUsize::new(0),
+            activation: Activation::new(),
+        }
+    }
+
+    /// Number of shards (`p` in the paper's construction).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of operations currently buffered (racy under concurrency; exact
+    /// when used single-threaded).
+    pub fn len(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// True if no operations are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deposits one call into the shard `shard_hint % shards`.  Constant time;
+    /// uncontended when each thread uses its own hint.
+    pub fn push(&self, shard_hint: usize, item: T) {
+        let shard = &self.shards[shard_hint % self.shards.len()];
+        shard.lock().push(item);
+        self.pending.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Deposits a pre-built batch of calls into one shard.
+    pub fn push_batch(&self, shard_hint: usize, items: Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        let shard = &self.shards[shard_hint % self.shards.len()];
+        let n = items.len();
+        shard.lock().extend(items);
+        self.pending.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// Flushes every shard, returning the accumulated input batch and the
+    /// analytic cost of the flush (`O(p + b)` work, `O(log p + log b)` span).
+    pub fn flush(&self) -> (Vec<T>, Cost) {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let mut guard = shard.lock();
+            if !guard.is_empty() {
+                out.append(&mut guard);
+            }
+        }
+        self.pending.fetch_sub(out.len(), Ordering::AcqRel);
+        let cost = Self::flush_cost(self.shards.len() as u64, out.len() as u64);
+        (out, cost)
+    }
+
+    /// The analytic flush cost for `p` shards and a batch of `b` operations.
+    pub fn flush_cost(p: u64, b: u64) -> Cost {
+        let span = u64::from(ceil_log2(p + 1)) + u64::from(ceil_log2(b + 1)) + 1;
+        Cost::new((p + b).max(span), span)
+    }
+
+    /// Runs `process` under the buffer's activation interface: the closure is
+    /// executed only if no other activation is running and `ready()` holds,
+    /// and it may request reactivation by returning `true` (Definition 36).
+    /// Returns the number of runs performed by this call.
+    pub fn activate<C, P>(&self, ready: C, process: P) -> usize
+    where
+        C: FnMut() -> bool,
+        P: FnMut() -> bool,
+    {
+        self.activation.activate(ready, process)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_and_flush_roundtrip() {
+        let buf: ParallelBuffer<u64> = ParallelBuffer::new(4);
+        assert!(buf.is_empty());
+        for i in 0..20 {
+            buf.push(i as usize, i);
+        }
+        assert_eq!(buf.len(), 20);
+        let (mut items, cost) = buf.flush();
+        items.sort_unstable();
+        assert_eq!(items, (0..20).collect::<Vec<_>>());
+        assert!(buf.is_empty());
+        assert!(cost.work >= 20);
+        assert!(cost.span <= 12);
+    }
+
+    #[test]
+    fn push_batch_counts_items() {
+        let buf: ParallelBuffer<u64> = ParallelBuffer::new(2);
+        buf.push_batch(0, vec![1, 2, 3]);
+        buf.push_batch(1, Vec::new());
+        assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    fn flush_cost_shape() {
+        // Work linear in p + b, span logarithmic.
+        let c = ParallelBuffer::<u64>::flush_cost(64, 1 << 16);
+        assert!(c.work >= (1 << 16) + 64);
+        assert!(c.span <= 26);
+    }
+
+    #[test]
+    fn concurrent_pushes_are_not_lost() {
+        let buf: Arc<ParallelBuffer<u64>> = Arc::new(ParallelBuffer::new(8));
+        let threads = 8;
+        let per_thread = 5_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let buf = Arc::clone(&buf);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        buf.push(t, t as u64 * per_thread + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (items, _) = buf.flush();
+        assert_eq!(items.len(), (threads as u64 * per_thread) as usize);
+        let distinct: std::collections::BTreeSet<u64> = items.into_iter().collect();
+        assert_eq!(distinct.len(), (threads as u64 * per_thread) as usize);
+    }
+
+    #[test]
+    fn activation_runs_exclusively() {
+        let buf: ParallelBuffer<u64> = ParallelBuffer::new(2);
+        buf.push(0, 1);
+        let runs = buf.activate(|| true, || false);
+        assert_eq!(runs, 1);
+    }
+}

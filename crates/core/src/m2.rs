@@ -1,0 +1,1018 @@
+//! M2 — the pipelined parallel working-set map (paper Section 7).
+//!
+//! M2 splits the segment cascade into a **first slab** (the first
+//! `m = ⌈log log 2p²⌉ + 1` segments, processed batch-at-a-time exactly like
+//! M1) and a **final slab** (the remaining segments), which is *pipelined*:
+//! every final-slab segment has an input buffer of in-flight items, and a
+//! **filter** in front of the final slab guarantees that all in-flight
+//! final-slab operations are on distinct items — later operations on an item
+//! that is already in flight are simply appended to that item's filter entry
+//! and resolved together with it.  Accessed items are shifted to the front of
+//! the final slab (`S[m]`, or `S[m-1]` when found in `S[m]` itself) rather
+//! than all the way to the front, and excess items cascade lazily when later
+//! batches pass.
+//!
+//! In the paper the pipeline stages are driven by activation interfaces and
+//! guarded by neighbour-locks and front-locks (Figures 2 and 3) under a
+//! weak-priority scheduler.  This reproduction keeps the identical data
+//! movement and drives the stages with an explicit two-priority activation
+//! queue (final-slab runs are the high-priority queue `Q1`, interface runs the
+//! low-priority queue `Q2`); per-stage virtual clocks reproduce the pipeline
+//! timing so that per-operation latency can be measured (Theorem 25 /
+//! experiments E6 and E13).  See DESIGN.md substitution #2.
+
+use crate::feed::FeedBuffer;
+use crate::ops::{BatchedMap, GroupOp, OpId, OpResult, Operation, TaggedOp};
+use std::collections::VecDeque;
+use wsm_model::{ceil_log2, Cost, CostMeter};
+use wsm_seq::segment_capacity;
+use wsm_sort::pesort_group;
+use wsm_twothree::{cost as tcost, RecencyMap, Tree23};
+
+/// Latency record for one operation: virtual submit and finish times in the
+/// pipeline simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencyRecord {
+    /// The operation's identifier.
+    pub id: OpId,
+    /// Virtual time at which the operation was enqueued.
+    pub submit: u64,
+    /// Virtual time at which its result was produced.
+    pub finish: u64,
+}
+
+impl LatencyRecord {
+    /// The simulated latency of the operation.
+    pub fn latency(&self) -> u64 {
+        self.finish.saturating_sub(self.submit)
+    }
+}
+
+/// A token travelling through the final slab: one in-flight distinct item.
+#[derive(Clone, Debug)]
+struct Token<K> {
+    key: K,
+}
+
+/// What the two-priority activation queue can schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Target {
+    Interface,
+    Segment(usize),
+}
+
+/// The pipelined parallel working-set map.
+#[derive(Debug)]
+pub struct M2<K, V> {
+    p: usize,
+    /// Index of the first final-slab segment (`m` in the paper).
+    m: usize,
+    feed: FeedBuffer<TaggedOp<K, V>>,
+    staged: Vec<TaggedOp<K, V>>,
+    segments: Vec<RecencyMap<K, V>>,
+    /// Input buffer of each final-slab segment, indexed by `segment - m`.
+    buffers: Vec<VecDeque<Token<K>>>,
+    /// Virtual time at which each final-slab buffer last received input.
+    buffer_ready: Vec<u64>,
+    /// The filter: key → operations pending on that key in the final slab.
+    filter: Tree23<K, Vec<TaggedOp<K, V>>>,
+    size: usize,
+    meter: CostMeter,
+    next_id: OpId,
+    /// Two-priority activation queues: final-slab segments (Q1) and the
+    /// interface (Q2).
+    q1: VecDeque<Target>,
+    q2: VecDeque<Target>,
+    results: Vec<(OpId, OpResult<V>)>,
+    /// Pipeline virtual clocks: when the interface / each segment last
+    /// finished a run.
+    interface_clock: u64,
+    segment_clocks: Vec<u64>,
+    /// Virtual submit time of every pending operation.
+    submit_times: Vec<(OpId, u64)>,
+    latencies: Vec<LatencyRecord>,
+}
+
+impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
+    /// Creates an empty M2 configured for `p` processors (`p ≥ 2`).
+    pub fn new(p: usize) -> Self {
+        let p = p.max(2);
+        let m = (ceil_log2(u64::from(ceil_log2(2 * (p * p) as u64))) + 1) as usize;
+        M2 {
+            p,
+            m,
+            feed: FeedBuffer::new(p * p),
+            staged: Vec::new(),
+            segments: Vec::new(),
+            buffers: Vec::new(),
+            buffer_ready: Vec::new(),
+            filter: Tree23::new(),
+            size: 0,
+            meter: CostMeter::new(),
+            next_id: 0,
+            q1: VecDeque::new(),
+            q2: VecDeque::new(),
+            results: Vec::new(),
+            interface_clock: 0,
+            segment_clocks: Vec::new(),
+            submit_times: Vec::new(),
+            latencies: Vec::new(),
+        }
+    }
+
+    /// The processor count this instance is configured for.
+    pub fn processors(&self) -> usize {
+        self.p
+    }
+
+    /// The first final-slab segment index `m = ⌈log log 2p²⌉ + 1`.
+    pub fn first_slab_len(&self) -> usize {
+        self.m
+    }
+
+    /// Number of items currently stored (items travelling through the final
+    /// slab with a pending net-insert are not yet counted).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of segments currently allocated.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Sizes of the segments, front to back.
+    pub fn segment_sizes(&self) -> Vec<usize> {
+        self.segments.iter().map(RecencyMap::len).collect()
+    }
+
+    /// Number of distinct items currently held by the filter.
+    pub fn filter_size(&self) -> usize {
+        self.filter.len()
+    }
+
+    /// Latency records of all completed operations.
+    pub fn latencies(&self) -> &[LatencyRecord] {
+        &self.latencies
+    }
+
+    /// Non-adjusting lookup for tests (does not see values still in flight in
+    /// the filter).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.segments.iter().find_map(|s| s.get(key))
+    }
+
+    /// The current virtual pipeline time (maximum over all stage clocks).
+    pub fn virtual_now(&self) -> u64 {
+        self.segment_clocks
+            .iter()
+            .copied()
+            .chain([self.interface_clock])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Stages a single operation and returns the identifier of its result.
+    pub fn submit(&mut self, op: Operation<K, V>) -> OpId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.staged.push(TaggedOp { id, op });
+        id
+    }
+
+    /// Enqueues an input batch, as if flushed from the parallel buffer.
+    pub fn enqueue_batch(&mut self, batch: Vec<TaggedOp<K, V>>) {
+        let now = self.virtual_now();
+        for t in &batch {
+            self.next_id = self.next_id.max(t.id + 1);
+            self.submit_times.push((t.id, now));
+        }
+        let cost = self.feed.push_input(batch);
+        self.meter.charge(cost);
+        self.activate(Target::Interface);
+    }
+
+    /// Number of operations not yet resolved.
+    pub fn pending(&self) -> usize {
+        self.feed.len()
+            + self.staged.len()
+            + self.filter_pending_ops()
+            + self.results.capacity().min(0)
+    }
+
+    fn filter_pending_ops(&self) -> usize {
+        let mut n = 0;
+        self.filter.for_each(|_, ops| n += ops.len());
+        n
+    }
+
+    fn activate(&mut self, target: Target) {
+        let q = match target {
+            Target::Interface => &mut self.q2,
+            Target::Segment(_) => &mut self.q1,
+        };
+        if !q.contains(&target) {
+            q.push_back(target);
+        }
+    }
+
+    /// Runs one activation from the two-priority queues (final-slab segments
+    /// first, then the interface) — one "step" of the weak-priority scheduler.
+    /// Returns `false` when nothing was ready to run.
+    pub fn step(&mut self) -> bool {
+        // Q1 (final slab) has weak priority over Q2 (interface).
+        if let Some(target) = self.q1.pop_front() {
+            match target {
+                Target::Segment(k) => self.run_segment(k),
+                Target::Interface => unreachable!("interface never queued on Q1"),
+            }
+            return true;
+        }
+        if let Some(target) = self.q2.pop_front() {
+            match target {
+                Target::Interface => self.run_interface(),
+                Target::Segment(_) => unreachable!("segments never queued on Q2"),
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Drives the pipeline until all pending operations have resolved, then
+    /// returns their results.
+    pub fn process_all(&mut self) -> Vec<(OpId, OpResult<V>)> {
+        if !self.staged.is_empty() {
+            let staged = std::mem::take(&mut self.staged);
+            self.enqueue_batch(staged);
+        }
+        loop {
+            if self.q1.is_empty() && self.q2.is_empty() {
+                // Re-arm: any final-slab segment with buffered tokens, and the
+                // interface whenever input is waiting and the filter has room.
+                for i in 0..self.buffers.len() {
+                    if !self.buffers[i].is_empty() {
+                        self.activate(Target::Segment(self.m + i));
+                    }
+                }
+                if self.interface_ready() {
+                    self.activate(Target::Interface);
+                }
+            }
+            if !self.step() {
+                break;
+            }
+        }
+        std::mem::take(&mut self.results)
+    }
+
+    /// Convenience wrapper mirroring [`crate::M1::run_ops`].
+    pub fn run_ops(&mut self, ops: Vec<Operation<K, V>>) -> Vec<OpResult<V>> {
+        let base = self.next_id;
+        let batch: Vec<TaggedOp<K, V>> = ops
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| TaggedOp {
+                id: base + i as OpId,
+                op,
+            })
+            .collect();
+        self.next_id = base + batch.len() as OpId;
+        let n = batch.len();
+        self.enqueue_batch(batch);
+        let mut results: Vec<Option<OpResult<V>>> = vec![None; n];
+        for (id, r) in self.process_all() {
+            if id >= base && ((id - base) as usize) < n {
+                results[(id - base) as usize] = Some(r);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every operation produces a result"))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Interface run (Section 7.1, M2 interface steps 1-6)
+    // ------------------------------------------------------------------
+
+    /// The interface is ready iff input is waiting and the filter is small.
+    fn interface_ready(&self) -> bool {
+        !self.feed.is_empty() && self.filter.len() <= self.p * self.p
+    }
+
+    fn run_interface(&mut self) {
+        if !self.interface_ready() {
+            return;
+        }
+        let mut cost = Cost::ZERO;
+        // Step 1: take exactly one bunch as the cut batch.
+        let (batch, form_cost) = self.feed.pop_cut_batch(1);
+        cost += form_cost;
+        if batch.is_empty() {
+            return;
+        }
+        // Step 2: entropy-sort and combine duplicates.
+        let keys: Vec<K> = batch.iter().map(|t| t.op.key().clone()).collect();
+        let (grouped, sort_cost) = pesort_group(&keys);
+        cost += sort_cost;
+        let mut groups: Vec<GroupOp<K, V>> = grouped
+            .into_iter()
+            .map(|(key, idxs)| GroupOp {
+                key,
+                ops: idxs.iter().map(|&i| batch[i].clone()).collect(),
+            })
+            .collect();
+
+        // Step 3: pass through the first slab (segments 0..m-1), as in M1.
+        let first_slab_end = self.m.min(self.segments.len());
+        let mut finish_now: Vec<(OpId, OpResult<V>)> = Vec::new();
+        let mut k = 0;
+        while k < first_slab_end && !groups.is_empty() {
+            let seg_len = self.segments[k].len() as u64;
+            let keys_sorted: Vec<K> = groups.iter().map(|g| g.key.clone()).collect();
+            let removed = self.segments[k].remove_batch(&keys_sorted);
+            cost += tcost::batch_op(keys_sorted.len() as u64, seg_len);
+            let mut shift: Vec<(K, V)> = Vec::new();
+            let mut remaining: Vec<GroupOp<K, V>> = Vec::new();
+            for (group, found) in groups.into_iter().zip(removed) {
+                match found {
+                    Some(v) => {
+                        let (rs, fin) = group.resolve(Some(v));
+                        finish_now.extend(rs);
+                        match fin {
+                            Some(v2) => shift.push((group.key.clone(), v2)),
+                            None => self.size -= 1,
+                        }
+                    }
+                    None => remaining.push(group),
+                }
+            }
+            let dest = k.saturating_sub(1);
+            if !shift.is_empty() {
+                cost += tcost::batch_op(shift.len() as u64, self.segments[dest].len() as u64);
+                self.segments[dest].insert_front_batch(shift);
+            }
+            // Restore the prefix capacity invariant inside the first slab only
+            // (holes accumulate in S[m-1]; S[m]'s run refills them).
+            cost += self.restore_range(k.min(first_slab_end.saturating_sub(1)));
+            groups = remaining;
+            k += 1;
+        }
+
+        let has_final_slab = self.segments.len() > self.m;
+        if !has_final_slab {
+            // Step 4 (degenerate): no final slab — finish everything here, as
+            // in M1.
+            let mut inserts: Vec<(K, V)> = Vec::new();
+            for group in groups {
+                let (rs, fin) = group.resolve(None);
+                finish_now.extend(rs);
+                if let Some(v) = fin {
+                    inserts.push((group.key.clone(), v));
+                }
+            }
+            if !inserts.is_empty() {
+                cost += self.append_inserts(inserts);
+            }
+            cost += self.restore_range(self.segments.len().saturating_sub(1));
+            self.drop_empty_tail();
+        } else if !groups.is_empty() {
+            // Step 4: pass the unfinished operations through the filter.
+            let filter_len = self.filter.len() as u64;
+            cost += tcost::batch_op(groups.len() as u64, filter_len);
+            let mut new_tokens: Vec<Token<K>> = Vec::new();
+            for group in groups {
+                match self.filter.get_mut(&group.key) {
+                    Some(entry) => entry.extend(group.ops),
+                    None => {
+                        self.filter.insert(group.key.clone(), group.ops);
+                        new_tokens.push(Token { key: group.key });
+                    }
+                }
+            }
+            if !new_tokens.is_empty() {
+                self.ensure_final_slab_state();
+                let ready_at = self.interface_clock.max(self.virtual_now());
+                self.buffer_ready[0] = self.buffer_ready[0].max(ready_at);
+                self.buffers[0].extend(new_tokens);
+            }
+            // Activate S[m] even when every operation was absorbed by the
+            // filter or finished in the first slab: its (possibly maintenance)
+            // run refills any holes that first-slab deletions left in S[m-1]
+            // (Invariant 2 of Lemma 16).
+            self.activate(Target::Segment(self.m));
+        }
+
+        // Whenever a final slab exists, give S[m] a chance to run (possibly as
+        // a pure maintenance run) so that holes left by first-slab deletions
+        // are refilled promptly (Invariant 2 of Lemma 16).
+        if self.segments.len() > self.m {
+            self.ensure_final_slab_state();
+            self.activate(Target::Segment(self.m));
+        }
+
+        // Advance the interface clock by the span of this run and stamp the
+        // operations that finished in the first slab.
+        self.interface_clock = self.interface_clock.max(self.virtual_now_feed()) + cost.span;
+        let finish_time = self.interface_clock;
+        self.record_finishes(&finish_now, finish_time);
+        self.results.extend(finish_now);
+        self.meter.charge_in_batch(cost);
+        self.meter.end_batch();
+
+        // Step 6: reactivate ourselves if more input is waiting and the filter
+        // has room.
+        if self.interface_ready() {
+            self.activate(Target::Interface);
+        }
+    }
+
+    /// Lower bound on when the interface can start (input was enqueued at this
+    /// virtual time); the feed buffer itself does not track times, so use the
+    /// latest recorded submit time.
+    fn virtual_now_feed(&self) -> u64 {
+        self.submit_times.iter().map(|&(_, t)| t).max().unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Final-slab segment run (Section 7.1, segment steps 1-7)
+    // ------------------------------------------------------------------
+
+    fn ensure_final_slab_state(&mut self) {
+        while self.segments.len() <= self.m {
+            self.segments.push(RecencyMap::new());
+        }
+        while self.buffers.len() < self.segments.len() - self.m {
+            self.buffers.push(VecDeque::new());
+            self.buffer_ready.push(0);
+        }
+        while self.segment_clocks.len() < self.segments.len() {
+            self.segment_clocks.push(0);
+        }
+    }
+
+    fn run_segment(&mut self, k: usize) {
+        self.ensure_final_slab_state();
+        let buf_idx = k - self.m;
+        if buf_idx >= self.buffers.len() || k >= self.segments.len() {
+            return;
+        }
+        if self.buffers[buf_idx].is_empty() {
+            // Maintenance run: no tokens to process, but the previous segment
+            // may have holes left by deletions (or overflow) — rebalance the
+            // boundary (steps 4g/4h) and cascade onward if anything moved.
+            // This plays the role of the paper's deletion tokens travelling
+            // the final slab so that later segments keep running.
+            let moved = self.balance_with_previous(k);
+            if !moved.is_zero() {
+                self.meter.charge(moved);
+                if k + 1 < self.segments.len() {
+                    self.activate(Target::Segment(k + 1));
+                }
+            }
+            self.drop_empty_final_tail();
+            return;
+        }
+        let mut cost = Cost::ZERO;
+
+        // Step 3: extend the structure if the terminal segment is overflowing.
+        let is_terminal = k + 1 == self.segments.len();
+        if is_terminal {
+            let total: u64 = self.segments[k - 1].len() as u64 + self.segments[k].len() as u64;
+            let cap = segment_capacity((k - 1) as u32).saturating_add(segment_capacity(k as u32));
+            if total > cap {
+                self.segments.push(RecencyMap::new());
+                self.ensure_final_slab_state();
+            }
+        }
+        let is_terminal = k + 1 == self.segments.len();
+
+        // Step 4: flush the buffer and process its tokens.
+        let mut tokens: Vec<Token<K>> = self.buffers[buf_idx].drain(..).collect();
+        tokens.sort_by(|a, b| a.key.cmp(&b.key));
+        let keys: Vec<K> = tokens.iter().map(|t| t.key.clone()).collect();
+        let seg_len = self.segments[k].len() as u64;
+        let removed = self.segments[k].remove_batch(&keys);
+        cost += tcost::batch_op(keys.len() as u64, seg_len);
+
+        // m' = min(k-1, m): where accessed (and newly inserted) items go.
+        let dest = (k - 1).min(self.m);
+        let mut front_inserts: Vec<(K, V)> = Vec::new();
+        let mut finish_now: Vec<(OpId, OpResult<V>)> = Vec::new();
+        let mut pass_on: Vec<Token<K>> = Vec::new();
+        for (token, found) in tokens.into_iter().zip(removed) {
+            match found {
+                Some(v) => {
+                    let ops = self
+                        .filter
+                        .remove(&token.key)
+                        .expect("in-flight item must have a filter entry");
+                    cost += tcost::single_op(self.filter.len() as u64 + 1);
+                    let group = GroupOp {
+                        key: token.key.clone(),
+                        ops,
+                    };
+                    let (rs, fin) = group.resolve(Some(v));
+                    finish_now.extend(rs);
+                    match fin {
+                        Some(v2) => front_inserts.push((token.key, v2)),
+                        None => self.size -= 1,
+                    }
+                }
+                None if is_terminal => {
+                    // The item is nowhere in the map: resolve against absence.
+                    let ops = self
+                        .filter
+                        .remove(&token.key)
+                        .expect("in-flight item must have a filter entry");
+                    cost += tcost::single_op(self.filter.len() as u64 + 1);
+                    let group = GroupOp {
+                        key: token.key.clone(),
+                        ops,
+                    };
+                    let (rs, fin) = group.resolve(None);
+                    finish_now.extend(rs);
+                    if let Some(v) = fin {
+                        front_inserts.push((token.key, v));
+                        self.size += 1;
+                    }
+                }
+                None => pass_on.push(token),
+            }
+        }
+
+        // Step 4d: shift accessed / newly inserted items to the front of
+        // S[m'].
+        if !front_inserts.is_empty() {
+            cost += tcost::batch_op(
+                front_inserts.len() as u64,
+                self.segments[dest].len() as u64,
+            );
+            self.segments[dest].insert_front_batch(front_inserts);
+        }
+
+        // Steps 4g/4h: rebalance with the previous segment.
+        cost += self.balance_with_previous(k);
+
+        // Step 4i: pass unfinished tokens to the next segment.
+        if !pass_on.is_empty() {
+            debug_assert!(!is_terminal, "terminal segment must finish every token");
+            let next_idx = buf_idx + 1;
+            self.buffers[next_idx].extend(pass_on);
+        }
+        // Always let the next segment run (with tokens, or as a maintenance
+        // run that propagates hole refills — the role of the paper's tagged
+        // deletions travelling the final slab).
+        if k + 1 < self.segments.len() {
+            self.activate(Target::Segment(k + 1));
+        }
+
+        // Pipeline timing: this run starts when both the segment is free and
+        // its input buffer was ready.
+        let start = self.segment_clocks[k].max(self.buffer_ready[buf_idx]);
+        let end = start + cost.span;
+        self.segment_clocks[k] = end;
+        if buf_idx + 1 < self.buffer_ready.len() {
+            self.buffer_ready[buf_idx + 1] = self.buffer_ready[buf_idx + 1].max(end);
+        }
+        self.record_finishes(&finish_now, end);
+        self.results.extend(finish_now);
+        self.meter.charge_in_batch(cost);
+        self.meter.end_batch();
+
+        // Step 5: drop an empty terminal segment (only if it has no pending
+        // input).
+        self.drop_empty_final_tail();
+
+        // Step 4e / 6: wake the interface if the filter has room, and
+        // reactivate ourselves if more input arrived.
+        if self.interface_ready() {
+            self.activate(Target::Interface);
+        }
+        if self
+            .buffers
+            .get(buf_idx)
+            .is_some_and(|b| !b.is_empty())
+        {
+            self.activate(Target::Segment(k));
+        }
+    }
+
+    /// Steps 4g/4h: if `S[k-1]` is over-full push its back into `S[k]`; if it
+    /// is under-full pull from the front of `S[k]`.
+    fn balance_with_previous(&mut self, k: usize) -> Cost {
+        let cap_prev = segment_capacity((k - 1) as u32);
+        let prev_len = self.segments[k - 1].len() as u64;
+        let larger = (self.segments[k - 1].len()).max(self.segments[k].len()) as u64;
+        if prev_len > cap_prev {
+            let x = (prev_len - cap_prev) as usize;
+            let moved = self.segments[k - 1].pop_back(x);
+            self.segments[k].insert_front_batch(moved);
+            tcost::transfer(x as u64, larger)
+        } else if prev_len < cap_prev && !self.segments[k].is_empty() {
+            // Only refill holes left by deletions; never drain the suffix just
+            // because the structure is small overall.
+            let deficit = (cap_prev - prev_len) as usize;
+            let suffix_len: usize = self.segments[k..].iter().map(RecencyMap::len).sum();
+            let x = deficit.min(self.segments[k].len()).min(suffix_len);
+            if x == 0 {
+                return Cost::ZERO;
+            }
+            let moved = self.segments[k].pop_front(x);
+            self.segments[k - 1].insert_back_batch(moved);
+            tcost::transfer(x as u64, larger)
+        } else {
+            Cost::ZERO
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared helpers (same roles as in M1)
+    // ------------------------------------------------------------------
+
+    fn prefix_capacity(i: usize) -> u64 {
+        (0..i).fold(0u64, |acc, j| acc.saturating_add(segment_capacity(j as u32)))
+    }
+
+    fn prefix_size(&self, i: usize) -> u64 {
+        self.segments[..i].iter().map(|s| s.len() as u64).sum()
+    }
+
+    fn balance_boundary(&mut self, i: usize) -> Cost {
+        let target = Self::prefix_capacity(i);
+        let current = self.prefix_size(i);
+        let larger = self.segments[i - 1].len().max(self.segments[i].len()) as u64;
+        if current > target {
+            let x = (current - target) as usize;
+            let moved = self.segments[i - 1].pop_back(x);
+            self.segments[i].insert_front_batch(moved);
+            tcost::transfer(x as u64, larger)
+        } else if current < target && !self.segments[i].is_empty() {
+            let x = ((target - current) as usize).min(self.segments[i].len());
+            let moved = self.segments[i].pop_front(x);
+            self.segments[i - 1].insert_back_batch(moved);
+            tcost::transfer(x as u64, larger)
+        } else {
+            Cost::ZERO
+        }
+    }
+
+    /// Balances boundaries `1..=k` from back to front (within the given
+    /// range only — the interface never reaches past the first slab).
+    fn restore_range(&mut self, k: usize) -> Cost {
+        let mut cost = Cost::ZERO;
+        for i in (1..=k.min(self.segments.len().saturating_sub(1))).rev() {
+            cost += self.balance_boundary(i);
+        }
+        cost
+    }
+
+    fn append_inserts(&mut self, items: Vec<(K, V)>) -> Cost {
+        let mut cost = Cost::ZERO;
+        if self.segments.is_empty() {
+            self.segments.push(RecencyMap::new());
+        }
+        self.size += items.len();
+        let mut l = self.segments.len() - 1;
+        cost += tcost::batch_op(items.len() as u64, self.segments[l].len() as u64);
+        self.segments[l].insert_back_batch(items);
+        while self.segments[l].len() as u64 > segment_capacity(l as u32) {
+            let excess = (self.segments[l].len() as u64 - segment_capacity(l as u32)) as usize;
+            let moved = self.segments[l].pop_back(excess);
+            cost += tcost::transfer(excess as u64, self.segments[l].len() as u64 + excess as u64);
+            self.segments.push(RecencyMap::new());
+            l += 1;
+            self.segments[l].insert_front_batch(moved);
+        }
+        self.ensure_final_slab_state();
+        cost
+    }
+
+    fn drop_empty_tail(&mut self) {
+        while matches!(self.segments.last(), Some(s) if s.is_empty())
+            && self.segments.len() > self.m
+        {
+            // Never drop a final-slab segment whose buffer still has tokens.
+            let idx = self.segments.len() - 1 - self.m;
+            if self.buffers.get(idx).is_some_and(|b| !b.is_empty()) {
+                break;
+            }
+            self.segments.pop();
+            if self.buffers.len() > idx {
+                self.buffers.pop();
+                self.buffer_ready.pop();
+            }
+        }
+        while matches!(self.segments.last(), Some(s) if s.is_empty()) && self.segments.len() <= self.m
+        {
+            self.segments.pop();
+        }
+    }
+
+    fn drop_empty_final_tail(&mut self) {
+        self.drop_empty_tail();
+    }
+
+    fn record_finishes(&mut self, finished: &[(OpId, OpResult<V>)], time: u64) {
+        if finished.is_empty() {
+            return;
+        }
+        let ids: std::collections::BTreeSet<OpId> = finished.iter().map(|(id, _)| *id).collect();
+        let mut remaining = Vec::with_capacity(self.submit_times.len());
+        for &(id, submit) in &self.submit_times {
+            if ids.contains(&id) {
+                self.latencies.push(LatencyRecord {
+                    id,
+                    submit,
+                    finish: time,
+                });
+            } else {
+                remaining.push((id, submit));
+            }
+        }
+        self.submit_times = remaining;
+    }
+
+    /// Checks structural invariants in the spirit of Lemma 16: internal tree
+    /// consistency, cached size, filter bound, final-slab segments within
+    /// `3 · 2^(2^k)`, and prefixes at most `2p²` below capacity.
+    pub fn check_invariants(&self) {
+        let mut total = 0usize;
+        for (k, seg) in self.segments.iter().enumerate() {
+            seg.check_invariants();
+            total += seg.len();
+            let cap = segment_capacity(k as u32);
+            if k >= self.m {
+                assert!(
+                    (seg.len() as u64) <= cap.saturating_mul(3),
+                    "final-slab segment {k} exceeds 3x capacity: {}",
+                    seg.len()
+                );
+            } else {
+                assert!(
+                    (seg.len() as u64) <= cap.saturating_mul(2),
+                    "first-slab segment {k} exceeds 2x capacity: {}",
+                    seg.len()
+                );
+            }
+        }
+        assert_eq!(total, self.size, "cached size out of date");
+        assert!(
+            self.filter.len() <= 2 * self.p * self.p + self.p * self.p,
+            "filter exceeded its Θ(p²) bound: {}",
+            self.filter.len()
+        );
+        // Invariant 4 (relaxed): prefixes of the final slab are at most 2p²
+        // below capacity, unless the whole suffix is empty.
+        for k in self.m..self.segments.len() {
+            let suffix: usize = self.segments[k..].iter().map(RecencyMap::len).sum();
+            if suffix == 0 {
+                continue;
+            }
+            let prefix = self.prefix_size(k);
+            let cap = Self::prefix_capacity(k);
+            // Lemma 16 allows a deficit of 2p² while segments are running; one
+            // extra in-flight cut batch (p² operations) of slack covers the
+            // instants between a deletion-heavy interface run and the
+            // maintenance run of the next segment.
+            let slack = (3 * self.p * self.p) as u64;
+            assert!(
+                prefix.saturating_add(slack) >= cap.min(prefix + suffix as u64),
+                "prefix S[0..{k}] too far below capacity: {prefix} vs {cap}"
+            );
+        }
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> BatchedMap<K, V> for M2<K, V> {
+    fn run_batch(&mut self, batch: Vec<TaggedOp<K, V>>) -> (Vec<(OpId, OpResult<V>)>, Cost) {
+        let before = self.meter.total();
+        self.enqueue_batch(batch);
+        let results = self.process_all();
+        let after = self.meter.total();
+        (
+            results,
+            Cost {
+                work: after.work - before.work,
+                span: after.span - before.span,
+            },
+        )
+    }
+
+    fn len(&self) -> usize {
+        self.size
+    }
+
+    fn effective_work(&self) -> u64 {
+        self.meter.work()
+    }
+
+    fn effective_span(&self) -> u64 {
+        self.meter.span()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn search(k: u64) -> Operation<u64, u64> {
+        Operation::Search(k)
+    }
+    fn insert(k: u64, v: u64) -> Operation<u64, u64> {
+        Operation::Insert(k, v)
+    }
+    fn delete(k: u64) -> Operation<u64, u64> {
+        Operation::Delete(k)
+    }
+
+    #[test]
+    fn m_is_loglog_of_p_squared() {
+        assert_eq!(M2::<u64, u64>::new(2).first_slab_len(), 3);
+        assert_eq!(M2::<u64, u64>::new(4).first_slab_len(), 4);
+        assert_eq!(M2::<u64, u64>::new(8).first_slab_len(), 4);
+        assert_eq!(M2::<u64, u64>::new(64).first_slab_len(), 5);
+    }
+
+    #[test]
+    fn basic_insert_search_delete() {
+        let mut m = M2::new(4);
+        let results = m.run_ops(vec![insert(1, 10), insert(2, 20), insert(3, 30)]);
+        assert!(results.iter().all(|r| matches!(r, OpResult::Insert(None))));
+        assert_eq!(m.size(), 3);
+        m.check_invariants();
+
+        let results = m.run_ops(vec![search(1), search(9), delete(2), search(2)]);
+        assert_eq!(results[0], OpResult::Search(Some(10)));
+        assert_eq!(results[1], OpResult::Search(None));
+        assert_eq!(results[2], OpResult::Delete(Some(20)));
+        assert_eq!(results[3], OpResult::Search(None));
+        assert_eq!(m.size(), 2);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn builds_final_slab_for_large_maps() {
+        let n = 3000u64;
+        let mut m = M2::new(2);
+        m.run_ops((0..n).map(|i| insert(i, i)).collect());
+        assert_eq!(m.size(), n as usize);
+        assert!(
+            m.num_segments() > m.first_slab_len(),
+            "expected a final slab for n={n}: segments={:?}",
+            m.segment_sizes()
+        );
+        m.check_invariants();
+        // Everything is still reachable.
+        let results = m.run_ops((0..n).step_by(97).map(search).collect());
+        assert!(results.iter().all(|r| r.was_present()));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn matches_btreemap_model_on_random_batches() {
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut m = M2::new(4);
+        let mut state = 0xDEADBEEF;
+        for round in 0..40 {
+            let b = 1 + (xorshift(&mut state) % 80) as usize;
+            let key_space = if round < 20 { 48 } else { 1 << 14 };
+            let mut ops = Vec::with_capacity(b);
+            for _ in 0..b {
+                let key = xorshift(&mut state) % key_space;
+                match xorshift(&mut state) % 4 {
+                    0 | 1 => ops.push(search(key)),
+                    2 => ops.push(insert(key, xorshift(&mut state))),
+                    _ => ops.push(delete(key)),
+                }
+            }
+            let expected: Vec<OpResult<u64>> = ops
+                .iter()
+                .map(|op| match op {
+                    Operation::Search(k) => OpResult::Search(model.get(k).copied()),
+                    Operation::Insert(k, v) => OpResult::Insert(model.insert(*k, *v)),
+                    Operation::Delete(k) => OpResult::Delete(model.remove(k)),
+                })
+                .collect();
+            let got = m.run_ops(ops);
+            assert_eq!(got, expected, "round {round}");
+            assert_eq!(m.size(), model.len(), "round {round}");
+            m.check_invariants();
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_batches_are_cheap() {
+        let n: u64 = 1 << 13;
+        let b: usize = 1 << 10;
+        let mut m = M2::new(8);
+        m.run_ops((0..n).map(|i| insert(i, i)).collect());
+        let work_before = m.effective_work();
+        m.run_ops(std::iter::repeat_n(search(n / 2), b).collect());
+        let dup_work = m.effective_work() - work_before;
+        let log_n = (n as f64).log2();
+        assert!(
+            (dup_work as f64) < 0.8 * (b as f64) * log_n,
+            "duplicate batch work {dup_work} looks like Ω(b log n)"
+        );
+    }
+
+    #[test]
+    fn hot_accesses_have_lower_latency_than_cold() {
+        // Theorem 25 shape: per-operation pipeline latency grows with the
+        // access rank, so repeatedly touched items finish much faster than
+        // long-untouched ones.
+        let n = 1 << 14;
+        let mut m = M2::new(4);
+        m.run_ops((0..n).map(|i| insert(i, i)).collect());
+        // Prime a hot item near the front.
+        m.run_ops(vec![search(5), search(5)]);
+        let before = m.latencies().len();
+        m.run_ops(vec![search(5)]);
+        let hot: u64 = m.latencies()[before..].iter().map(|l| l.latency()).sum();
+        let before = m.latencies().len();
+        m.run_ops(vec![search(n - 3)]);
+        let cold: u64 = m.latencies()[before..].iter().map(|l| l.latency()).sum();
+        assert!(
+            hot < cold,
+            "hot access latency {hot} should be below cold access latency {cold}"
+        );
+    }
+
+    #[test]
+    fn effective_work_tracks_working_set_bound() {
+        use wsm_model::{working_set_bound, MapOpKind};
+        let n: u64 = 1 << 12;
+        let mut m = M2::new(8);
+        let mut state = 3;
+        m.run_ops((0..n).map(|i| insert(i, i)).collect());
+        let mut ops = Vec::new();
+        let mut kinds: Vec<MapOpKind<u64>> = (0..n).map(MapOpKind::Insert).collect();
+        for _ in 0..(4 * n) {
+            let key = if xorshift(&mut state) % 10 < 9 {
+                xorshift(&mut state) % 8
+            } else {
+                xorshift(&mut state) % n
+            };
+            ops.push(search(key));
+            kinds.push(MapOpKind::Search(key));
+        }
+        let work_before = m.effective_work();
+        m.run_ops(ops);
+        let measured = m.effective_work() - work_before;
+        let wl = working_set_bound(&kinds) as f64;
+        assert!(
+            (measured as f64) < 80.0 * wl,
+            "M2 work {measured} not within constant factor of W_L {wl}"
+        );
+    }
+
+    #[test]
+    fn filter_stays_bounded_and_empties() {
+        let mut m = M2::new(2);
+        let mut state = 31;
+        m.run_ops((0..2000u64).map(|i| insert(i, i)).collect());
+        for _ in 0..10 {
+            let ops: Vec<Operation<u64, u64>> = (0..200)
+                .map(|_| search(xorshift(&mut state) % 2000))
+                .collect();
+            m.run_ops(ops);
+            assert_eq!(m.filter_size(), 0, "filter must drain between rounds");
+            m.check_invariants();
+        }
+    }
+
+    #[test]
+    fn operations_on_in_flight_items_linearize_correctly() {
+        // Two batches touching the same key, enqueued before any processing:
+        // the second batch's operations must observe the first batch's effect.
+        let mut m = M2::new(2);
+        m.run_ops((0..1000u64).map(|i| insert(i, i)).collect());
+        let id_a = m.submit(insert(500, 777));
+        let id_b = m.submit(delete(500));
+        let id_c = m.submit(search(500));
+        let results: BTreeMap<OpId, OpResult<u64>> = m.process_all().into_iter().collect();
+        assert_eq!(results[&id_a], OpResult::Insert(Some(500)));
+        assert_eq!(results[&id_b], OpResult::Delete(Some(777)));
+        assert_eq!(results[&id_c], OpResult::Search(None));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn empty_and_missing_key_operations() {
+        let mut m: M2<u64, u64> = M2::new(4);
+        let results = m.run_ops(vec![search(3), delete(4)]);
+        assert_eq!(results[0], OpResult::Search(None));
+        assert_eq!(results[1], OpResult::Delete(None));
+        assert_eq!(m.size(), 0);
+        assert!(!m.step(), "nothing should remain scheduled");
+    }
+}

@@ -1,0 +1,223 @@
+//! Map operations, group-operations and result types shared by M1 and M2.
+//!
+//! A *group-operation* (Section 6.1) is the combination of every operation of
+//! a batch that touches the same item: the group is treated as one operation
+//! whose effect is that of applying its members in order.  Combining is what
+//! lets a batch of `b` searches for one hot item cost `O(log n + b)` instead
+//! of `Ω(b log n)` (Section 3).
+
+use wsm_model::Cost;
+
+/// Identifier that ties a result back to the call that produced it.
+pub type OpId = u64;
+
+/// A map operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Operation<K, V> {
+    /// Search for (access) a key.
+    Search(K),
+    /// Insert or update a key.
+    Insert(K, V),
+    /// Delete a key.
+    Delete(K),
+}
+
+impl<K, V> Operation<K, V> {
+    /// The key this operation touches.
+    pub fn key(&self) -> &K {
+        match self {
+            Operation::Search(k) | Operation::Insert(k, _) | Operation::Delete(k) => k,
+        }
+    }
+
+    /// True for searches.
+    pub fn is_search(&self) -> bool {
+        matches!(self, Operation::Search(_))
+    }
+}
+
+/// The result of a map operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpResult<V> {
+    /// Result of a search: the value if the key was present.
+    Search(Option<V>),
+    /// Result of an insert: the previously stored value, if any.
+    Insert(Option<V>),
+    /// Result of a delete: the removed value, if any.
+    Delete(Option<V>),
+}
+
+impl<V> OpResult<V> {
+    /// The value carried by the result, whatever the operation kind.
+    pub fn value(&self) -> Option<&V> {
+        match self {
+            OpResult::Search(v) | OpResult::Insert(v) | OpResult::Delete(v) => v.as_ref(),
+        }
+    }
+
+    /// True if the operation found / affected an existing item.
+    pub fn was_present(&self) -> bool {
+        self.value().is_some()
+    }
+}
+
+/// An operation tagged with the identifier of its originating call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaggedOp<K, V> {
+    /// Identifier used to route the result back to the caller.
+    pub id: OpId,
+    /// The operation itself.
+    pub op: Operation<K, V>,
+}
+
+/// A group-operation: every operation of one batch that touches `key`, in
+/// arrival order.
+#[derive(Clone, Debug)]
+pub struct GroupOp<K, V> {
+    /// The common key.
+    pub key: K,
+    /// The member operations in their original (linearization) order.
+    pub ops: Vec<TaggedOp<K, V>>,
+}
+
+impl<K: Clone, V: Clone> GroupOp<K, V> {
+    /// Number of member operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the group has no member operations (never produced by the
+    /// batching pipeline, but kept total for safety).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// True if every member is a search (the group cannot change the map).
+    pub fn is_read_only(&self) -> bool {
+        self.ops.iter().all(|t| t.op.is_search())
+    }
+
+    /// Resolves the whole group given the value currently stored under the
+    /// key (`None` if absent): returns one result per member operation plus
+    /// the final value the map should hold for the key (`None` = absent).
+    ///
+    /// This is the "single operation with the same effect as the whole group
+    /// of operations in the given order" of Section 6.1.
+    pub fn resolve(&self, current: Option<V>) -> (Vec<(OpId, OpResult<V>)>, Option<V>) {
+        let mut state = current;
+        let mut results = Vec::with_capacity(self.ops.len());
+        for tagged in &self.ops {
+            match &tagged.op {
+                Operation::Search(_) => {
+                    results.push((tagged.id, OpResult::Search(state.clone())));
+                }
+                Operation::Insert(_, v) => {
+                    let prev = state.replace(v.clone());
+                    results.push((tagged.id, OpResult::Insert(prev)));
+                }
+                Operation::Delete(_) => {
+                    let prev = state.take();
+                    results.push((tagged.id, OpResult::Delete(prev)));
+                }
+            }
+        }
+        (results, state)
+    }
+}
+
+/// A map that consumes whole batches of tagged operations.
+///
+/// Both M1 and M2 implement this; the concurrent front-end
+/// ([`crate::ConcurrentMap`]) and the experiment harness are written against
+/// it.  The returned results may be in any order (they are routed by
+/// [`OpId`]); the cost is the effective work/span charged for the batch.
+pub trait BatchedMap<K, V> {
+    /// Executes a batch of operations, returning the per-call results and the
+    /// effective cost charged for the batch.
+    fn run_batch(&mut self, batch: Vec<TaggedOp<K, V>>) -> (Vec<(OpId, OpResult<V>)>, Cost);
+
+    /// Number of items currently stored.
+    fn len(&self) -> usize;
+
+    /// True if the map is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total effective work charged since construction.
+    fn effective_work(&self) -> u64;
+
+    /// Total effective span charged since construction.
+    fn effective_span(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(ops: Vec<Operation<u64, u64>>) -> GroupOp<u64, u64> {
+        GroupOp {
+            key: *ops[0].key(),
+            ops: ops
+                .into_iter()
+                .enumerate()
+                .map(|(i, op)| TaggedOp { id: i as OpId, op })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn resolve_search_only_group() {
+        let g = group(vec![Operation::Search(5), Operation::Search(5)]);
+        let (results, fin) = g.resolve(Some(7));
+        assert_eq!(fin, Some(7));
+        assert!(results
+            .iter()
+            .all(|(_, r)| matches!(r, OpResult::Search(Some(7)))));
+        let (results, fin) = g.resolve(None);
+        assert_eq!(fin, None);
+        assert!(results
+            .iter()
+            .all(|(_, r)| matches!(r, OpResult::Search(None))));
+        assert!(g.is_read_only());
+    }
+
+    #[test]
+    fn resolve_insert_then_search() {
+        let g = group(vec![Operation::Insert(3, 30), Operation::Search(3)]);
+        let (results, fin) = g.resolve(None);
+        assert_eq!(fin, Some(30));
+        assert_eq!(results[0].1, OpResult::Insert(None));
+        assert_eq!(results[1].1, OpResult::Search(Some(30)));
+    }
+
+    #[test]
+    fn resolve_delete_then_insert() {
+        let g = group(vec![
+            Operation::Delete(3),
+            Operation::Search(3),
+            Operation::Insert(3, 99),
+        ]);
+        let (results, fin) = g.resolve(Some(1));
+        assert_eq!(fin, Some(99));
+        assert_eq!(results[0].1, OpResult::Delete(Some(1)));
+        assert_eq!(results[1].1, OpResult::Search(None));
+        assert_eq!(results[2].1, OpResult::Insert(None));
+    }
+
+    #[test]
+    fn resolve_net_delete() {
+        let g = group(vec![Operation::Insert(3, 1), Operation::Delete(3)]);
+        let (_, fin) = g.resolve(Some(0));
+        assert_eq!(fin, None);
+    }
+
+    #[test]
+    fn op_result_accessors() {
+        let r: OpResult<u64> = OpResult::Search(Some(4));
+        assert!(r.was_present());
+        assert_eq!(r.value(), Some(&4));
+        let r: OpResult<u64> = OpResult::Delete(None);
+        assert!(!r.was_present());
+    }
+}

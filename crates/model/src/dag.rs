@@ -1,0 +1,300 @@
+//! Program DAG modelling.
+//!
+//! The paper's Theorems 3 and 4 bound the running time of a parallel program
+//! `P` in terms of quantities of its program DAG `D`: the total number of
+//! nodes `T_1`, the longest path `T_inf`, the maximum number of map calls `d`
+//! on any path, and (for M2) the weighted span `s_L` in which each map call is
+//! weighted by its working-set charge `log r + 1`.
+//!
+//! [`ProgramDag`] lets experiments build such DAGs explicitly (series chains,
+//! parallel fans, fork/join combinations of map calls and local work) and
+//! query exactly those quantities.
+
+use std::collections::HashMap;
+
+/// Identifier of a node in a [`ProgramDag`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// The kind of a program-DAG node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A unit-time local instruction.
+    Local,
+    /// A call to the map data structure.  The payload is an opaque operation
+    /// index that the experiment uses to look up the operation's cost or
+    /// working-set weight once a linearization is chosen.
+    Call(usize),
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    kind: NodeKind,
+    preds: Vec<NodeId>,
+    succs: Vec<NodeId>,
+}
+
+/// A DAG of unit-time instructions and map calls.
+///
+/// Nodes must be added before edges referencing them; edges must go from an
+/// earlier-created node to a later-created node (this enforces acyclicity and
+/// gives a free topological order).
+#[derive(Clone, Debug, Default)]
+pub struct ProgramDag {
+    nodes: Vec<Node>,
+}
+
+impl ProgramDag {
+    /// Creates an empty DAG.
+    pub fn new() -> Self {
+        ProgramDag::default()
+    }
+
+    /// Adds a node of the given kind and returns its id.
+    pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            kind,
+            preds: Vec::new(),
+            succs: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a local (unit instruction) node.
+    pub fn add_local(&mut self) -> NodeId {
+        self.add_node(NodeKind::Local)
+    }
+
+    /// Adds a map-call node carrying operation index `op`.
+    pub fn add_call(&mut self, op: usize) -> NodeId {
+        self.add_node(NodeKind::Call(op))
+    }
+
+    /// Adds a dependency edge `from -> to`.
+    ///
+    /// # Panics
+    /// Panics if `from >= to` (which would break the topological invariant) or
+    /// if either id is out of range.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        assert!(from.0 < to.0, "edges must go forward in creation order");
+        assert!(to.0 < self.nodes.len(), "node id out of range");
+        self.nodes[from.0].succs.push(to);
+        self.nodes[to.0].preds.push(from);
+    }
+
+    /// Appends a chain of `len` local nodes after `after` (or as roots when
+    /// `after` is `None`), returning the last node of the chain.
+    pub fn add_local_chain(&mut self, after: Option<NodeId>, len: usize) -> Option<NodeId> {
+        let mut prev = after;
+        let mut last = after;
+        for _ in 0..len {
+            let n = self.add_local();
+            if let Some(p) = prev {
+                self.add_edge(p, n);
+            }
+            prev = Some(n);
+            last = Some(n);
+        }
+        last
+    }
+
+    /// Number of nodes (`T_1` of the program DAG, counting calls as single
+    /// nodes as the paper does).
+    pub fn t1(&self) -> u64 {
+        self.nodes.len() as u64
+    }
+
+    /// Number of nodes in the DAG.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The kind of node `id`.
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.0].kind
+    }
+
+    /// All call-node operation indices in creation order.
+    pub fn call_ops(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n.kind {
+                NodeKind::Call(op) => Some(op),
+                NodeKind::Local => None,
+            })
+            .collect()
+    }
+
+    /// Longest path measured with every node weighing 1 (`T_inf`).
+    pub fn t_inf(&self) -> u64 {
+        self.weighted_span(|_| 1)
+    }
+
+    /// The maximum number of call nodes on any path (`d` in Theorems 3/4).
+    pub fn call_depth(&self) -> u64 {
+        self.weighted_span(|kind| match kind {
+            NodeKind::Call(_) => 1,
+            NodeKind::Local => 0,
+        })
+    }
+
+    /// The weighted span: the maximum over paths of the sum of `weight(node)`.
+    ///
+    /// `s_L` of Theorem 4 is obtained by weighting each call node with its
+    /// working-set charge `log r + 1` under the linearization `L` and each
+    /// local node with 1 (or 0 to isolate the map term).
+    pub fn weighted_span<F: Fn(NodeKind) -> u64>(&self, weight: F) -> u64 {
+        let mut best: Vec<u64> = vec![0; self.nodes.len()];
+        let mut overall = 0;
+        for (i, node) in self.nodes.iter().enumerate() {
+            let from_preds = node.preds.iter().map(|p| best[p.0]).max().unwrap_or(0);
+            best[i] = from_preds + weight(node.kind);
+            overall = overall.max(best[i]);
+        }
+        overall
+    }
+
+    /// Weighted span where call nodes are weighted by the supplied per-op
+    /// weights (indexed by the operation index stored in the call node) and
+    /// local nodes weigh `local_weight`.
+    pub fn weighted_call_span(&self, weights: &HashMap<usize, u64>, local_weight: u64) -> u64 {
+        self.weighted_span(|kind| match kind {
+            NodeKind::Call(op) => *weights.get(&op).unwrap_or(&1),
+            NodeKind::Local => local_weight,
+        })
+    }
+
+    /// Returns the predecessors of a node.
+    pub fn preds(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.0].preds
+    }
+
+    /// Returns the successors of a node.
+    pub fn succs(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.0].succs
+    }
+
+    /// Builds a simple series-parallel DAG commonly used in the experiments:
+    /// `rounds` sequential rounds, each consisting of `width` independent map
+    /// calls (operation indices are assigned consecutively), joined by a local
+    /// node between rounds.  Returns the DAG and the number of call nodes.
+    pub fn rounds_of_parallel_calls(rounds: usize, width: usize) -> (ProgramDag, usize) {
+        let mut dag = ProgramDag::new();
+        let mut op = 0usize;
+        let mut join_prev: Option<NodeId> = None;
+        for _ in 0..rounds {
+            let fork = dag.add_local();
+            if let Some(j) = join_prev {
+                dag.add_edge(j, fork);
+            }
+            let join = {
+                let calls: Vec<NodeId> = (0..width)
+                    .map(|_| {
+                        let c = dag.add_call(op);
+                        op += 1;
+                        dag.add_edge(fork, c);
+                        c
+                    })
+                    .collect();
+                let join = dag.add_local();
+                for c in calls {
+                    dag.add_edge(c, join);
+                }
+                join
+            };
+            join_prev = Some(join);
+        }
+        (dag, op)
+    }
+
+    /// Builds a pure chain of `len` map calls (the worst case for the `d`
+    /// term of the span bounds).
+    pub fn call_chain(len: usize) -> (ProgramDag, usize) {
+        let mut dag = ProgramDag::new();
+        let mut prev: Option<NodeId> = None;
+        for op in 0..len {
+            let c = dag.add_call(op);
+            if let Some(p) = prev {
+                dag.add_edge(p, c);
+            }
+            prev = Some(c);
+        }
+        (dag, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_quantities() {
+        let (dag, n) = ProgramDag::call_chain(10);
+        assert_eq!(n, 10);
+        assert_eq!(dag.t1(), 10);
+        assert_eq!(dag.t_inf(), 10);
+        assert_eq!(dag.call_depth(), 10);
+    }
+
+    #[test]
+    fn rounds_of_parallel_calls_quantities() {
+        let (dag, ops) = ProgramDag::rounds_of_parallel_calls(3, 4);
+        assert_eq!(ops, 12);
+        // Each round: 1 fork + 4 calls + 1 join = 6 nodes.
+        assert_eq!(dag.t1(), 18);
+        // Longest path: fork, call, join per round = 3 nodes per round.
+        assert_eq!(dag.t_inf(), 9);
+        // One call per round on any path.
+        assert_eq!(dag.call_depth(), 3);
+    }
+
+    #[test]
+    fn weighted_call_span_uses_weights() {
+        let (dag, _) = ProgramDag::rounds_of_parallel_calls(2, 2);
+        // ops 0..2 in round one, 2..4 in round two.
+        let mut weights = HashMap::new();
+        weights.insert(0usize, 10u64);
+        weights.insert(1usize, 1u64);
+        weights.insert(2usize, 7u64);
+        weights.insert(3usize, 2u64);
+        // Ignoring local nodes, the heaviest path takes the max-weight call of
+        // each round: 10 + 7.
+        assert_eq!(dag.weighted_call_span(&weights, 0), 17);
+        // Counting local nodes adds 2 per round.
+        assert_eq!(dag.weighted_call_span(&weights, 1), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward")]
+    fn backward_edge_panics() {
+        let mut dag = ProgramDag::new();
+        let a = dag.add_local();
+        let b = dag.add_local();
+        dag.add_edge(b, a);
+    }
+
+    #[test]
+    fn local_chain_helper() {
+        let mut dag = ProgramDag::new();
+        let end = dag.add_local_chain(None, 5).unwrap();
+        assert_eq!(dag.t1(), 5);
+        assert_eq!(dag.t_inf(), 5);
+        let end2 = dag.add_local_chain(Some(end), 3).unwrap();
+        assert_eq!(dag.t_inf(), 8);
+        assert!(end2.0 > end.0);
+    }
+
+    #[test]
+    fn empty_dag() {
+        let dag = ProgramDag::new();
+        assert!(dag.is_empty());
+        assert_eq!(dag.t_inf(), 0);
+        assert_eq!(dag.call_depth(), 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Cost accumulation for instrumented data structures.
+//!
+//! Every instrumented structure in the workspace (M0, M1, M2, the 2-3 trees,
+//! the sorts, ...) owns a [`CostMeter`] and charges unit operations to it.
+//! Experiments read the meter to compare measured effective work against the
+//! paper's bounds.
+
+use crate::Cost;
+
+/// A record of the cost of a single logical operation (or batch) together with
+/// the quantity the paper's bound predicts for it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCostRecord {
+    /// Measured cost of the operation.
+    pub cost: Cost,
+    /// The access rank `r` of the operation (paper Definition 1), when known.
+    /// Insertions, deletions and unsuccessful searches use `n + 1`.
+    pub access_rank: u64,
+    /// The working-set charge `log r + 1` for this operation.
+    pub ws_charge: u64,
+}
+
+/// Accumulates effective work and effective span across the lifetime of a
+/// data structure, and optionally per-operation records.
+///
+/// The meter distinguishes the *total* cost (sequential accumulation of every
+/// charge, giving effective work) from the *batch span* (the span of the
+/// current batch, accumulated in parallel across operations in the batch),
+/// matching Definition 5 of the paper: effective work is the total number of
+/// M-nodes and effective span is the maximum number of M-nodes on a path.
+#[derive(Clone, Debug, Default)]
+pub struct CostMeter {
+    total_work: u64,
+    /// Span accumulated across *sequential* phases (batches run one after
+    /// another; within a batch the span contributions are combined with
+    /// `max`).
+    total_span: u64,
+    current_batch_span: u64,
+    batches: u64,
+    records: Vec<OpCostRecord>,
+    keep_records: bool,
+}
+
+impl CostMeter {
+    /// Creates a meter that only tracks totals.
+    pub fn new() -> Self {
+        CostMeter::default()
+    }
+
+    /// Creates a meter that additionally keeps a per-operation record (used by
+    /// the experiment harness to plot cost against access rank).
+    pub fn with_records() -> Self {
+        CostMeter {
+            keep_records: true,
+            ..CostMeter::default()
+        }
+    }
+
+    /// Charges a cost that is sequential with everything recorded so far.
+    pub fn charge(&mut self, cost: Cost) {
+        self.total_work += cost.work;
+        self.total_span += cost.span;
+    }
+
+    /// Charges a cost that belongs to the current batch: work adds, span is
+    /// combined with `max` against the other operations of the batch.
+    pub fn charge_in_batch(&mut self, cost: Cost) {
+        self.total_work += cost.work;
+        self.current_batch_span = self.current_batch_span.max(cost.span);
+    }
+
+    /// Ends the current batch, folding its span into the sequential total.
+    /// Returns the span of the batch that just ended.
+    pub fn end_batch(&mut self) -> u64 {
+        let s = self.current_batch_span;
+        self.total_span += s;
+        self.current_batch_span = 0;
+        self.batches += 1;
+        s
+    }
+
+    /// Records the cost of one logical map operation together with its
+    /// working-set charge.
+    pub fn record_op(&mut self, record: OpCostRecord) {
+        if self.keep_records {
+            self.records.push(record);
+        }
+    }
+
+    /// Total effective work charged so far.
+    pub fn work(&self) -> u64 {
+        self.total_work
+    }
+
+    /// Total effective span charged so far (sequential composition of batch
+    /// spans plus directly charged spans).
+    pub fn span(&self) -> u64 {
+        self.total_span + self.current_batch_span
+    }
+
+    /// Number of completed batches.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// The accumulated totals as a [`Cost`].
+    pub fn total(&self) -> Cost {
+        Cost {
+            work: self.work(),
+            span: self.span(),
+        }
+    }
+
+    /// Per-operation records (empty unless constructed with
+    /// [`CostMeter::with_records`]).
+    pub fn records(&self) -> &[OpCostRecord] {
+        &self.records
+    }
+
+    /// Clears all accumulated state.
+    pub fn reset(&mut self) {
+        let keep = self.keep_records;
+        *self = CostMeter::default();
+        self.keep_records = keep;
+    }
+
+    /// Merges another meter into this one as if its charges happened after
+    /// (sequentially with) this meter's charges.
+    pub fn absorb(&mut self, other: &CostMeter) {
+        self.total_work += other.total_work;
+        self.total_span += other.total_span + other.current_batch_span;
+        self.batches += other.batches;
+        if self.keep_records {
+            self.records.extend_from_slice(&other.records);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates_sequentially() {
+        let mut m = CostMeter::new();
+        m.charge(Cost::new(10, 4));
+        m.charge(Cost::new(5, 5));
+        assert_eq!(m.work(), 15);
+        assert_eq!(m.span(), 9);
+        assert_eq!(m.total(), Cost::new(15, 9));
+    }
+
+    #[test]
+    fn batch_span_is_max_of_member_spans() {
+        let mut m = CostMeter::new();
+        m.charge_in_batch(Cost::new(10, 4));
+        m.charge_in_batch(Cost::new(20, 7));
+        m.charge_in_batch(Cost::new(5, 2));
+        assert_eq!(m.work(), 35);
+        // Before ending the batch the span is already visible.
+        assert_eq!(m.span(), 7);
+        let s = m.end_batch();
+        assert_eq!(s, 7);
+        assert_eq!(m.span(), 7);
+        assert_eq!(m.batches(), 1);
+
+        // A second batch composes sequentially with the first.
+        m.charge_in_batch(Cost::new(3, 3));
+        m.end_batch();
+        assert_eq!(m.span(), 10);
+        assert_eq!(m.work(), 38);
+    }
+
+    #[test]
+    fn records_only_kept_when_requested() {
+        let mut plain = CostMeter::new();
+        plain.record_op(OpCostRecord {
+            cost: Cost::UNIT,
+            access_rank: 1,
+            ws_charge: 1,
+        });
+        assert!(plain.records().is_empty());
+
+        let mut recording = CostMeter::with_records();
+        recording.record_op(OpCostRecord {
+            cost: Cost::new(3, 2),
+            access_rank: 4,
+            ws_charge: 3,
+        });
+        assert_eq!(recording.records().len(), 1);
+        assert_eq!(recording.records()[0].access_rank, 4);
+    }
+
+    #[test]
+    fn reset_preserves_record_mode() {
+        let mut m = CostMeter::with_records();
+        m.charge(Cost::new(4, 4));
+        m.record_op(OpCostRecord::default());
+        m.reset();
+        assert_eq!(m.work(), 0);
+        assert!(m.records().is_empty());
+        m.record_op(OpCostRecord::default());
+        assert_eq!(m.records().len(), 1, "record mode must survive reset");
+    }
+
+    #[test]
+    fn absorb_composes_sequentially() {
+        let mut a = CostMeter::new();
+        a.charge(Cost::new(10, 5));
+        let mut b = CostMeter::new();
+        b.charge_in_batch(Cost::new(6, 3));
+        a.absorb(&b);
+        assert_eq!(a.work(), 16);
+        assert_eq!(a.span(), 8);
+    }
+}

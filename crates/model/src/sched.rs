@@ -1,0 +1,364 @@
+//! List-scheduling simulation of greedy and weak-priority schedulers.
+//!
+//! The paper analyses M1 under any *greedy* scheduler (at each step, if `k`
+//! tasks are ready then `min(k, p)` of them execute) and M2 under a
+//! *weak-priority* scheduler (Section 7.2): two queues `Q1` (high priority)
+//! and `Q2`, where at every step at least half of the processors first try to
+//! take high-priority work.
+//!
+//! [`TaskGraph::simulate`] performs a non-preemptive event-driven list
+//! scheduling of a weighted task DAG on `p` virtual processors under either
+//! policy.  Experiments use it to convert the effective work/span numbers
+//! produced by the instrumented data structures into simulated running times,
+//! which is how Theorems 3 and 4 combine the data-structure bounds with
+//! Brent-style scheduling bounds.
+
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// Identifier of a task in a [`TaskGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+/// Scheduling priority of a task (two levels, as in the weak-priority
+/// scheduler of Section 7.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Ordinary work (queue `Q2`).
+    #[default]
+    Normal,
+    /// Weakly-prioritised work (queue `Q1`), e.g. the final-slab nodes of M2.
+    High,
+}
+
+#[derive(Clone, Debug)]
+struct Task {
+    weight: u64,
+    priority: Priority,
+    preds: usize,
+    succs: Vec<TaskId>,
+}
+
+/// Which scheduler to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Any-greedy scheduler: ready tasks are taken FIFO by any idle processor.
+    Greedy,
+    /// Weak-priority scheduler: half of the processors prefer high-priority
+    /// ready tasks; the rest take work FIFO regardless of priority.
+    WeakPriority,
+}
+
+/// Result of a scheduling simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScheduleResult {
+    /// Completion time of the last task.
+    pub makespan: u64,
+    /// Sum of all task weights.
+    pub total_work: u64,
+    /// Critical-path length of the task graph (weighted span).
+    pub critical_path: u64,
+    /// Number of tasks executed.
+    pub tasks: u64,
+}
+
+impl ScheduleResult {
+    /// The Brent lower bound `max(total_work / p, critical_path)`; a greedy
+    /// schedule is always within a factor 2 of it, so experiments report the
+    /// ratio `makespan / lower_bound(p)` to show the schedule quality.
+    pub fn lower_bound(&self, p: u64) -> u64 {
+        (self.total_work).div_ceil(p).max(self.critical_path)
+    }
+}
+
+/// A weighted DAG of tasks with two-level priorities.
+#[derive(Clone, Debug, Default)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+}
+
+impl TaskGraph {
+    /// Creates an empty task graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Adds a task of the given weight (duration in unit steps) and priority.
+    /// Zero-weight tasks are allowed and treated as weight so that they still
+    /// occupy a scheduling slot of zero duration.
+    pub fn add_task(&mut self, weight: u64, priority: Priority) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task {
+            weight,
+            priority,
+            preds: 0,
+            succs: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a normal-priority task.
+    pub fn add(&mut self, weight: u64) -> TaskId {
+        self.add_task(weight, Priority::Normal)
+    }
+
+    /// Adds a dependency edge: `to` can only start after `from` completes.
+    ///
+    /// # Panics
+    /// Panics if `from >= to` in creation order (ensures acyclicity) or ids are
+    /// out of range.
+    pub fn add_edge(&mut self, from: TaskId, to: TaskId) {
+        assert!(from.0 < to.0, "edges must go forward in creation order");
+        assert!(to.0 < self.tasks.len(), "task id out of range");
+        self.tasks[from.0].succs.push(to);
+        self.tasks[to.0].preds += 1;
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if there are no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total work (sum of weights).
+    pub fn total_work(&self) -> u64 {
+        self.tasks.iter().map(|t| t.weight).sum()
+    }
+
+    /// Weighted critical path length.
+    pub fn critical_path(&self) -> u64 {
+        let mut dist = vec![0u64; self.tasks.len()];
+        let mut best = 0;
+        // Creation order is a topological order because edges only go forward.
+        for i in 0..self.tasks.len() {
+            let d = dist[i] + self.tasks[i].weight;
+            best = best.max(d);
+            for &TaskId(s) in &self.tasks[i].succs {
+                dist[s] = dist[s].max(d);
+            }
+        }
+        best
+    }
+
+    /// Simulates non-preemptive list scheduling on `p` processors.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn simulate(&self, p: usize, policy: SchedulePolicy) -> ScheduleResult {
+        assert!(p > 0, "need at least one processor");
+        let n = self.tasks.len();
+        let mut preds_left: Vec<usize> = self.tasks.iter().map(|t| t.preds).collect();
+
+        // Ready queues.
+        let mut high: VecDeque<usize> = VecDeque::new();
+        let mut normal: VecDeque<usize> = VecDeque::new();
+        let push_ready = |i: usize, high: &mut VecDeque<usize>, normal: &mut VecDeque<usize>| {
+            match self.tasks[i].priority {
+                Priority::High => high.push_back(i),
+                Priority::Normal => normal.push_back(i),
+            }
+        };
+        for i in 0..n {
+            if preds_left[i] == 0 {
+                push_ready(i, &mut high, &mut normal);
+            }
+        }
+
+        // Min-heap of (finish_time, task) for running tasks.
+        let mut running: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
+        let mut idle = p;
+        let mut now: u64 = 0;
+        let mut makespan: u64 = 0;
+        let mut done = 0usize;
+        // Number of processors that prefer the high-priority queue.
+        let high_preferring = match policy {
+            SchedulePolicy::Greedy => 0,
+            SchedulePolicy::WeakPriority => p.div_ceil(2),
+        };
+
+        while done < n {
+            // Dispatch as many ready tasks as we have idle processors.
+            // Under the weak-priority policy the first `high_preferring` idle
+            // processors take from the high queue first.
+            let mut dispatched_any = false;
+            while idle > 0 && (!high.is_empty() || !normal.is_empty()) {
+                let prefer_high = match policy {
+                    SchedulePolicy::Greedy => false,
+                    SchedulePolicy::WeakPriority => p - idle < high_preferring,
+                };
+                let task = if prefer_high {
+                    high.pop_front().or_else(|| normal.pop_front())
+                } else {
+                    // Plain greedy processors still take high-priority work if
+                    // nothing else is available (greediness).
+                    normal.pop_front().or_else(|| high.pop_front())
+                };
+                let Some(i) = task else { break };
+                let finish = now + self.tasks[i].weight;
+                running.push(std::cmp::Reverse((finish, i)));
+                idle -= 1;
+                dispatched_any = true;
+            }
+            let _ = dispatched_any;
+
+            // Advance time to the next completion.
+            let Some(std::cmp::Reverse((t, _))) = running.peek().copied() else {
+                // No running tasks: if nothing is ready either, the graph had a
+                // cycle or dangling dependency; creation-order edges prevent
+                // that, so this means we are done.
+                break;
+            };
+            now = t;
+            // Complete every task finishing at `now`.
+            while let Some(std::cmp::Reverse((ft, i))) = running.peek().copied() {
+                if ft != now {
+                    break;
+                }
+                running.pop();
+                idle += 1;
+                done += 1;
+                makespan = makespan.max(ft);
+                for &TaskId(s) in &self.tasks[i].succs {
+                    preds_left[s] -= 1;
+                    if preds_left[s] == 0 {
+                        push_ready(s, &mut high, &mut normal);
+                    }
+                }
+            }
+        }
+
+        ScheduleResult {
+            makespan,
+            total_work: self.total_work(),
+            critical_path: self.critical_path(),
+            tasks: n as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_task() {
+        let mut g = TaskGraph::new();
+        g.add(7);
+        let r = g.simulate(4, SchedulePolicy::Greedy);
+        assert_eq!(r.makespan, 7);
+        assert_eq!(r.total_work, 7);
+        assert_eq!(r.critical_path, 7);
+    }
+
+    #[test]
+    fn independent_tasks_scale_with_processors() {
+        let mut g = TaskGraph::new();
+        for _ in 0..16 {
+            g.add(10);
+        }
+        assert_eq!(g.simulate(1, SchedulePolicy::Greedy).makespan, 160);
+        assert_eq!(g.simulate(4, SchedulePolicy::Greedy).makespan, 40);
+        assert_eq!(g.simulate(16, SchedulePolicy::Greedy).makespan, 10);
+        assert_eq!(g.simulate(32, SchedulePolicy::Greedy).makespan, 10);
+    }
+
+    #[test]
+    fn chain_is_bounded_by_critical_path() {
+        let mut g = TaskGraph::new();
+        let mut prev = None;
+        for _ in 0..10 {
+            let t = g.add(3);
+            if let Some(p) = prev {
+                g.add_edge(p, t);
+            }
+            prev = Some(t);
+        }
+        let r = g.simulate(8, SchedulePolicy::Greedy);
+        assert_eq!(r.critical_path, 30);
+        assert_eq!(r.makespan, 30);
+    }
+
+    #[test]
+    fn greedy_meets_brent_bound() {
+        // Random-ish fork/join structure: makespan <= work/p + span must hold
+        // for any greedy schedule (Brent / Graham bound).
+        let mut g = TaskGraph::new();
+        let mut joins = Vec::new();
+        let root = g.add(1);
+        for round in 0..5u64 {
+            let fork_from = *joins.last().unwrap_or(&root);
+            let children: Vec<TaskId> = (0..6)
+                .map(|i| {
+                    let t = g.add(1 + (i * round) % 7);
+                    g.add_edge(fork_from, t);
+                    t
+                })
+                .collect();
+            let join = g.add(1);
+            for c in children {
+                g.add_edge(c, join);
+            }
+            joins.push(join);
+        }
+        for p in [1u64, 2, 3, 4, 8] {
+            let r = g.simulate(p as usize, SchedulePolicy::Greedy);
+            assert!(
+                r.makespan <= r.total_work.div_ceil(p) + r.critical_path,
+                "greedy schedule on p={p} violates Brent bound: {r:?}"
+            );
+            assert!(r.makespan >= r.lower_bound(p));
+        }
+    }
+
+    #[test]
+    fn weak_priority_prefers_high_queue() {
+        // 2 processors; a long normal task and a chain of high tasks released
+        // together with many normal tasks.  Under weak priority at least one
+        // processor always works on the high chain, so the chain finishes in
+        // its critical-path time.
+        let mut g = TaskGraph::new();
+        let mut prev: Option<TaskId> = None;
+        for _ in 0..10 {
+            let t = g.add_task(5, Priority::High);
+            if let Some(p) = prev {
+                g.add_edge(p, t);
+            }
+            prev = Some(t);
+        }
+        for _ in 0..40 {
+            g.add_task(5, Priority::Normal);
+        }
+        let r = g.simulate(2, SchedulePolicy::WeakPriority);
+        // Total work = 50*5 = 250 on 2 processors: makespan >= 125, and the
+        // high chain (50) finishes long before that; the overall makespan must
+        // not exceed work/p + span.
+        assert!(r.makespan <= r.total_work / 2 + r.critical_path);
+        let greedy = g.simulate(2, SchedulePolicy::Greedy);
+        // Both policies are greedy, so both satisfy the bound; weak priority
+        // must not be worse than the bound either.
+        assert!(greedy.makespan <= greedy.total_work / 2 + greedy.critical_path);
+    }
+
+    #[test]
+    fn zero_weight_tasks_complete() {
+        let mut g = TaskGraph::new();
+        let a = g.add(0);
+        let b = g.add(3);
+        g.add_edge(a, b);
+        let r = g.simulate(1, SchedulePolicy::Greedy);
+        assert_eq!(r.makespan, 3);
+        assert_eq!(r.tasks, 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new();
+        let r = g.simulate(4, SchedulePolicy::Greedy);
+        assert_eq!(r.makespan, 0);
+        assert_eq!(r.tasks, 0);
+    }
+}

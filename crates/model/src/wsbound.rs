@@ -1,0 +1,289 @@
+//! The working-set bound (paper Definitions 1, 2 and 9).
+//!
+//! * The **access rank** of an operation (Definition 1): for a successful
+//!   search on `x`, the number of distinct items in the map that have been
+//!   searched for or inserted since the last prior operation on `x`
+//!   (including `x` itself); for insertions, deletions and unsuccessful
+//!   searches it is `n + 1` where `n` is the current map size.
+//! * The **working-set bound** `W_L` of a sequence `L` (Definition 2):
+//!   `Σ (log r_i + 1)` over the access ranks `r_i` of the operations of `L`
+//!   when `L` is performed on an empty map.
+//! * The **insert working-set bound** `IW_L` (Definition 9): the working-set
+//!   bound of the sequence that, for each item of `L` in order, searches for
+//!   it and inserts it iff absent.
+//!
+//! These quantities are what every bound-validation experiment compares
+//! measured effective work against.  Ranks are computed exactly with a Fenwick
+//! tree over operation positions in `O(N log N)`.
+
+use crate::log_cost;
+use std::collections::BTreeMap;
+
+/// A Fenwick (binary indexed) tree over positions `0..n` supporting point
+/// updates and prefix sums; used to count distinct items in a window.
+#[derive(Clone, Debug)]
+pub struct Fenwick {
+    tree: Vec<i64>,
+}
+
+impl Fenwick {
+    /// Creates a Fenwick tree over `n` positions, all zero.
+    pub fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    /// Adds `delta` at position `i`.
+    pub fn add(&mut self, i: usize, delta: i64) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=i`.
+    pub fn prefix(&self, i: usize) -> i64 {
+        let mut i = (i + 1).min(self.tree.len() - 1);
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum over the inclusive range `lo..=hi` (0 if the range is empty).
+    pub fn range(&self, lo: usize, hi: usize) -> i64 {
+        if lo > hi {
+            return 0;
+        }
+        let below = if lo == 0 { 0 } else { self.prefix(lo - 1) };
+        self.prefix(hi) - below
+    }
+}
+
+/// A map operation for working-set bound computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MapOpKind<K> {
+    /// A search (access/update) of a key.
+    Search(K),
+    /// An insertion of a key.
+    Insert(K),
+    /// A deletion of a key.
+    Delete(K),
+}
+
+impl<K> MapOpKind<K> {
+    /// The key this operation touches.
+    pub fn key(&self) -> &K {
+        match self {
+            MapOpKind::Search(k) | MapOpKind::Insert(k) | MapOpKind::Delete(k) => k,
+        }
+    }
+}
+
+/// Computes the access rank (Definition 1) of every operation of `ops` when
+/// the sequence is performed on an initially empty map.
+pub fn access_ranks<K: Ord + Clone>(ops: &[MapOpKind<K>]) -> Vec<u64> {
+    let n = ops.len();
+    let mut ranks = Vec::with_capacity(n);
+    // Position of the most recent search-or-insert of each item currently in
+    // the map (marked in the Fenwick tree), plus the set of present items.
+    let mut mark: BTreeMap<K, usize> = BTreeMap::new();
+    let mut present: BTreeMap<K, ()> = BTreeMap::new();
+    let mut bit = Fenwick::new(n);
+    for (i, op) in ops.iter().enumerate() {
+        let key = op.key();
+        match op {
+            MapOpKind::Search(_) => {
+                if present.contains_key(key) {
+                    let since = mark.get(key).copied();
+                    let distinct_between = match since {
+                        Some(j) if j + 1 <= i.saturating_sub(1) => bit.range(j + 1, i - 1),
+                        _ => 0,
+                    };
+                    ranks.push(distinct_between as u64 + 1);
+                    // Move the mark of `key` to position i.
+                    if let Some(j) = since {
+                        bit.add(j, -1);
+                    }
+                    bit.add(i, 1);
+                    mark.insert(key.clone(), i);
+                } else {
+                    ranks.push(present.len() as u64 + 1);
+                }
+            }
+            MapOpKind::Insert(_) => {
+                ranks.push(present.len() as u64 + 1);
+                if let Some(j) = mark.get(key).copied() {
+                    bit.add(j, -1);
+                }
+                bit.add(i, 1);
+                mark.insert(key.clone(), i);
+                present.insert(key.clone(), ());
+            }
+            MapOpKind::Delete(_) => {
+                ranks.push(present.len() as u64 + 1);
+                if present.remove(key).is_some() {
+                    if let Some(j) = mark.remove(key) {
+                        bit.add(j, -1);
+                    }
+                }
+            }
+        }
+    }
+    ranks
+}
+
+/// The working-set bound `W_L` (Definition 2) of an operation sequence.
+pub fn working_set_bound<K: Ord + Clone>(ops: &[MapOpKind<K>]) -> u64 {
+    access_ranks(ops).into_iter().map(log_cost).sum()
+}
+
+/// The insert working-set bound `IW_L` (Definition 9) of a sequence of items:
+/// the working-set bound of searching each item and inserting it iff absent.
+pub fn insert_working_set_bound<K: Ord + Clone>(items: &[K]) -> u64 {
+    let mut ops: Vec<MapOpKind<K>> = Vec::with_capacity(items.len() * 2);
+    let mut seen: BTreeMap<K, ()> = BTreeMap::new();
+    for item in items {
+        ops.push(MapOpKind::Search(item.clone()));
+        if seen.insert(item.clone(), ()).is_none() {
+            ops.push(MapOpKind::Insert(item.clone()));
+        }
+    }
+    working_set_bound(&ops)
+}
+
+/// The binary entropy `H = Σ q_i log2(1/q_i)` of the frequency distribution of
+/// `items` (0 for empty or single-item-type inputs).
+pub fn sequence_entropy<K: Ord>(items: &[K]) -> f64 {
+    if items.is_empty() {
+        return 0.0;
+    }
+    let mut counts: BTreeMap<&K, u64> = BTreeMap::new();
+    for item in items {
+        *counts.entry(item).or_insert(0) += 1;
+    }
+    let n = items.len() as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let q = c as f64 / n;
+            q * (1.0 / q).log2()
+        })
+        .sum()
+}
+
+/// The sorting entropy lower bound `n·H + n` (Theorem 28, up to constants) for
+/// a sequence.
+pub fn entropy_bound<K: Ord>(items: &[K]) -> f64 {
+    items.len() as f64 * (sequence_entropy(items) + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fenwick_prefix_and_range() {
+        let mut f = Fenwick::new(10);
+        for i in 0..10 {
+            f.add(i, (i + 1) as i64);
+        }
+        assert_eq!(f.prefix(0), 1);
+        assert_eq!(f.prefix(9), 55);
+        assert_eq!(f.range(2, 4), 3 + 4 + 5);
+        assert_eq!(f.range(5, 3), 0);
+        f.add(3, -4);
+        assert_eq!(f.range(2, 4), 3 + 5);
+    }
+
+    #[test]
+    fn ranks_of_inserts_grow_with_size() {
+        let ops: Vec<MapOpKind<u64>> = (0..5).map(MapOpKind::Insert).collect();
+        assert_eq!(access_ranks(&ops), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn repeated_search_has_rank_one() {
+        let mut ops: Vec<MapOpKind<u64>> = (0..10).map(MapOpKind::Insert).collect();
+        ops.push(MapOpKind::Search(7));
+        ops.push(MapOpKind::Search(7));
+        let ranks = access_ranks(&ops);
+        // First search of 7: every item was inserted since, so rank is the
+        // number of distinct items inserted after 7 (8, 9) plus 7 itself = 3.
+        assert_eq!(ranks[10], 3);
+        // Second search immediately after: rank 1.
+        assert_eq!(ranks[11], 1);
+    }
+
+    #[test]
+    fn unsuccessful_search_costs_n_plus_one() {
+        let mut ops: Vec<MapOpKind<u64>> = (0..4).map(MapOpKind::Insert).collect();
+        ops.push(MapOpKind::Search(99));
+        assert_eq!(access_ranks(&ops)[4], 5);
+    }
+
+    #[test]
+    fn deletion_resets_membership() {
+        let ops = vec![
+            MapOpKind::Insert(1u64),
+            MapOpKind::Delete(1),
+            MapOpKind::Search(1),
+        ];
+        let ranks = access_ranks(&ops);
+        // After deletion the search is unsuccessful: rank n+1 = 1.
+        assert_eq!(ranks[2], 1);
+    }
+
+    #[test]
+    fn working_set_bound_favours_locality() {
+        // Access each of 1024 keys once (uniform scan) vs access one key 1024
+        // times: the latter has a far smaller working-set bound.
+        let n = 1024u64;
+        let mut scan: Vec<MapOpKind<u64>> = (0..n).map(MapOpKind::Insert).collect();
+        scan.extend((0..n).map(MapOpKind::Search));
+        let mut hot: Vec<MapOpKind<u64>> = (0..n).map(MapOpKind::Insert).collect();
+        hot.extend(std::iter::repeat_n(MapOpKind::Search(0), n as usize));
+        let w_scan = working_set_bound(&scan);
+        let w_hot = working_set_bound(&hot);
+        assert!(w_hot < w_scan, "hot {w_hot} should be < scan {w_scan}");
+        // The hot workload's search part costs ~1 per op after the first.
+        let insert_part: u64 = (1..=n).map(crate::log_cost).sum();
+        assert!(w_hot <= insert_part + n + 64);
+    }
+
+    #[test]
+    fn insert_ws_bound_between_n_and_nlogn() {
+        let distinct: Vec<u64> = (0..256).collect();
+        let repeated: Vec<u64> = vec![42; 256];
+        let w_distinct = insert_working_set_bound(&distinct);
+        let w_repeated = insert_working_set_bound(&repeated);
+        assert!(w_repeated < w_distinct);
+        // Repeated: one search per item (cost 1 each) plus one insert.
+        assert!(w_repeated >= 256);
+        assert!(w_repeated <= 300);
+        // Distinct: the i-th item costs ~2(log i + 1).
+        assert!(w_distinct >= 256 * 4);
+    }
+
+    #[test]
+    fn entropy_of_uniform_and_constant() {
+        let constant = vec![1u64; 100];
+        assert!(sequence_entropy(&constant).abs() < 1e-9);
+        let uniform: Vec<u64> = (0..64).collect();
+        assert!((sequence_entropy(&uniform) - 6.0).abs() < 1e-9);
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(sequence_entropy(&empty), 0.0);
+    }
+
+    #[test]
+    fn entropy_bound_scales_with_n_and_h() {
+        let skewed: Vec<u64> = (0..1000).map(|i| if i % 10 == 0 { i } else { 0 }).collect();
+        let uniform: Vec<u64> = (0..1000).collect();
+        assert!(entropy_bound(&skewed) < entropy_bound(&uniform));
+        assert!(entropy_bound(&uniform) <= 1000.0 * (1000f64.log2() + 1.0) + 1e-6);
+    }
+}

@@ -1,0 +1,372 @@
+//! AVL tree baseline: a non-adaptive balanced binary search tree.
+//!
+//! Every operation costs `Θ(log n)` regardless of the access pattern, which is
+//! exactly the behaviour the working-set structures improve upon for skewed
+//! access sequences.  The experiment harness uses it (a) to demonstrate the
+//! gap predicted by the working-set bound on high-locality workloads and (b)
+//! as the "optimal static tree is no better than this on uniform workloads"
+//! sanity point for the static-optimality corollary.
+
+use crate::InstrumentedMap;
+use std::cmp::Ordering;
+use wsm_model::Cost;
+
+#[derive(Clone, Debug)]
+struct Node<K, V> {
+    key: K,
+    val: V,
+    height: i32,
+    left: Option<Box<Node<K, V>>>,
+    right: Option<Box<Node<K, V>>>,
+}
+
+/// An AVL tree map with per-operation cost accounting (cost = nodes visited).
+#[derive(Clone, Debug, Default)]
+pub struct AvlMap<K, V> {
+    root: Option<Box<Node<K, V>>>,
+    len: usize,
+    total: Cost,
+}
+
+fn height<K, V>(n: &Option<Box<Node<K, V>>>) -> i32 {
+    n.as_ref().map_or(0, |n| n.height)
+}
+
+fn update<K, V>(n: &mut Box<Node<K, V>>) {
+    n.height = 1 + height(&n.left).max(height(&n.right));
+}
+
+fn balance_factor<K, V>(n: &Box<Node<K, V>>) -> i32 {
+    height(&n.left) - height(&n.right)
+}
+
+fn rotate_right<K, V>(mut n: Box<Node<K, V>>) -> Box<Node<K, V>> {
+    let mut l = n.left.take().expect("rotate_right needs a left child");
+    n.left = l.right.take();
+    update(&mut n);
+    l.right = Some(n);
+    update(&mut l);
+    l
+}
+
+fn rotate_left<K, V>(mut n: Box<Node<K, V>>) -> Box<Node<K, V>> {
+    let mut r = n.right.take().expect("rotate_left needs a right child");
+    n.right = r.left.take();
+    update(&mut n);
+    r.left = Some(n);
+    update(&mut r);
+    r
+}
+
+fn rebalance<K, V>(mut n: Box<Node<K, V>>) -> Box<Node<K, V>> {
+    update(&mut n);
+    let bf = balance_factor(&n);
+    if bf > 1 {
+        if balance_factor(n.left.as_ref().expect("bf>1 implies left")) < 0 {
+            n.left = Some(rotate_left(n.left.take().unwrap()));
+        }
+        rotate_right(n)
+    } else if bf < -1 {
+        if balance_factor(n.right.as_ref().expect("bf<-1 implies right")) > 0 {
+            n.right = Some(rotate_right(n.right.take().unwrap()));
+        }
+        rotate_left(n)
+    } else {
+        n
+    }
+}
+
+fn insert_node<K: Ord, V>(
+    n: Option<Box<Node<K, V>>>,
+    key: K,
+    val: V,
+    steps: &mut u64,
+) -> (Box<Node<K, V>>, Option<V>) {
+    *steps += 1;
+    match n {
+        None => (
+            Box::new(Node {
+                key,
+                val,
+                height: 1,
+                left: None,
+                right: None,
+            }),
+            None,
+        ),
+        Some(mut n) => match key.cmp(&n.key) {
+            Ordering::Equal => {
+                let prev = std::mem::replace(&mut n.val, val);
+                (n, Some(prev))
+            }
+            Ordering::Less => {
+                let (child, prev) = insert_node(n.left.take(), key, val, steps);
+                n.left = Some(child);
+                (rebalance(n), prev)
+            }
+            Ordering::Greater => {
+                let (child, prev) = insert_node(n.right.take(), key, val, steps);
+                n.right = Some(child);
+                (rebalance(n), prev)
+            }
+        },
+    }
+}
+
+fn take_min<K, V>(mut n: Box<Node<K, V>>, steps: &mut u64) -> (Option<Box<Node<K, V>>>, Box<Node<K, V>>) {
+    *steps += 1;
+    match n.left.take() {
+        None => {
+            let right = n.right.take();
+            (right, n)
+        }
+        Some(left) => {
+            let (rest, min) = take_min(left, steps);
+            n.left = rest;
+            (Some(rebalance(n)), min)
+        }
+    }
+}
+
+fn remove_node<K: Ord, V>(
+    n: Option<Box<Node<K, V>>>,
+    key: &K,
+    steps: &mut u64,
+) -> (Option<Box<Node<K, V>>>, Option<V>) {
+    let Some(mut n) = n else {
+        return (None, None);
+    };
+    *steps += 1;
+    match key.cmp(&n.key) {
+        Ordering::Less => {
+            let (child, removed) = remove_node(n.left.take(), key, steps);
+            n.left = child;
+            (Some(rebalance(n)), removed)
+        }
+        Ordering::Greater => {
+            let (child, removed) = remove_node(n.right.take(), key, steps);
+            n.right = child;
+            (Some(rebalance(n)), removed)
+        }
+        Ordering::Equal => {
+            let left = n.left.take();
+            let right = n.right.take();
+            let val = n.val;
+            match (left, right) {
+                (None, r) => (r, Some(val)),
+                (l, None) => (l, Some(val)),
+                (Some(l), Some(r)) => {
+                    let (rest, mut successor) = take_min(r, steps);
+                    successor.left = Some(l);
+                    successor.right = rest;
+                    (Some(rebalance(successor)), Some(val))
+                }
+            }
+        }
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> AvlMap<K, V> {
+    /// Creates an empty AVL map.
+    pub fn new() -> Self {
+        AvlMap {
+            root: None,
+            len: 0,
+            total: Cost::ZERO,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree.
+    pub fn height(&self) -> usize {
+        height(&self.root) as usize
+    }
+
+    /// Looks up a key (counts as an access for cost purposes, but does not
+    /// restructure: AVL trees are not self-adjusting).
+    pub fn access(&mut self, key: &K) -> (Option<V>, Cost) {
+        let mut steps = 1u64;
+        let mut cur = self.root.as_deref();
+        let mut found = None;
+        while let Some(node) = cur {
+            match key.cmp(&node.key) {
+                Ordering::Equal => {
+                    found = Some(node.val.clone());
+                    break;
+                }
+                Ordering::Less => cur = node.left.as_deref(),
+                Ordering::Greater => cur = node.right.as_deref(),
+            }
+            steps += 1;
+        }
+        let cost = Cost::serial(steps);
+        self.total += cost;
+        (found, cost)
+    }
+
+    /// Inserts a key/value pair.
+    pub fn insert_item(&mut self, key: K, val: V) -> (Option<V>, Cost) {
+        let mut steps = 0u64;
+        let (root, prev) = insert_node(self.root.take(), key, val, &mut steps);
+        self.root = Some(root);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        let cost = Cost::serial(steps);
+        self.total += cost;
+        (prev, cost)
+    }
+
+    /// Removes a key.
+    pub fn remove_item(&mut self, key: &K) -> (Option<V>, Cost) {
+        let mut steps = 0u64;
+        let (root, removed) = remove_node(self.root.take(), key, &mut steps);
+        self.root = root;
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        let cost = Cost::serial(steps.max(1));
+        self.total += cost;
+        (removed, cost)
+    }
+
+    /// Validates the AVL balance and BST ordering invariants.
+    pub fn check_invariants(&self) {
+        fn check<K: Ord, V>(
+            n: &Option<Box<Node<K, V>>>,
+            lo: Option<&K>,
+            hi: Option<&K>,
+        ) -> (i32, usize) {
+            match n {
+                None => (0, 0),
+                Some(n) => {
+                    if let Some(lo) = lo {
+                        assert!(&n.key > lo, "BST order violated");
+                    }
+                    if let Some(hi) = hi {
+                        assert!(&n.key < hi, "BST order violated");
+                    }
+                    let (hl, cl) = check(&n.left, lo, Some(&n.key));
+                    let (hr, cr) = check(&n.right, Some(&n.key), hi);
+                    assert!((hl - hr).abs() <= 1, "AVL balance violated");
+                    assert_eq!(n.height, 1 + hl.max(hr), "cached height wrong");
+                    (n.height, cl + cr + 1)
+                }
+            }
+        }
+        let (_, count) = check(&self.root, None, None);
+        assert_eq!(count, self.len, "node count mismatch");
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> InstrumentedMap<K, V> for AvlMap<K, V> {
+    fn search(&mut self, key: &K) -> (Option<V>, Cost) {
+        self.access(key)
+    }
+    fn insert(&mut self, key: K, val: V) -> (Option<V>, Cost) {
+        self.insert_item(key, val)
+    }
+    fn remove(&mut self, key: &K) -> (Option<V>, Cost) {
+        self.remove_item(key)
+    }
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn total_cost(&self) -> Cost {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn matches_btreemap_model() {
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut m = AvlMap::new();
+        let mut state = 99u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..3000 {
+            let key = next() % 300;
+            match next() % 3 {
+                0 => {
+                    let v = next();
+                    assert_eq!(m.insert_item(key, v).0, model.insert(key, v));
+                }
+                1 => assert_eq!(m.access(&key).0, model.get(&key).copied()),
+                _ => assert_eq!(m.remove_item(&key).0, model.remove(&key)),
+            }
+            assert_eq!(m.len(), model.len());
+        }
+        m.check_invariants();
+    }
+
+    #[test]
+    fn height_stays_logarithmic() {
+        let mut m = AvlMap::new();
+        let n = 1 << 14;
+        for i in 0..n as u64 {
+            m.insert_item(i, i);
+        }
+        m.check_invariants();
+        // AVL height <= 1.45 log2(n+2).
+        assert!(
+            (m.height() as f64) <= 1.45 * ((n + 2) as f64).log2() + 1.0,
+            "AVL height {} too large",
+            m.height()
+        );
+    }
+
+    #[test]
+    fn sorted_and_reverse_insertions_balance() {
+        let mut asc = AvlMap::new();
+        let mut desc = AvlMap::new();
+        for i in 0..1000u64 {
+            asc.insert_item(i, i);
+            desc.insert_item(1000 - i, i);
+        }
+        asc.check_invariants();
+        desc.check_invariants();
+        assert!(asc.height() <= 15);
+        assert!(desc.height() <= 15);
+    }
+
+    #[test]
+    fn all_accesses_cost_log_n() {
+        let mut m = AvlMap::new();
+        for i in 0..(1 << 12) as u64 {
+            m.insert_item(i, i);
+        }
+        // Non-adaptive: repeated access to the same key never gets cheaper
+        // than the depth of that key.
+        let (_, c1) = m.access(&1234);
+        let (_, c2) = m.access(&1234);
+        assert_eq!(c1, c2);
+        assert!(c1.work >= 2, "an AVL access touches Θ(log n) nodes");
+    }
+
+    #[test]
+    fn remove_from_empty_and_missing() {
+        let mut m: AvlMap<u64, u64> = AvlMap::new();
+        assert_eq!(m.remove_item(&1).0, None);
+        m.insert_item(1, 1);
+        assert_eq!(m.remove_item(&2).0, None);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! # wsm-seq — sequential search structures
+//!
+//! The sequential building blocks and baselines of the reproduction:
+//!
+//! * [`IaconoMap`] — Iacono's working-set structure \[29\]: a sequence of
+//!   balanced trees `t_1, t_2, …` where `t_i` holds `2^(2^i)` items and the
+//!   `r` most recently accessed items live in the first `log log r` trees.
+//!   Accessing an item of recency `r` costs `O(log r + 1)`.  ESort (in
+//!   `wsm-sort`) uses it as its dictionary.
+//! * [`M0`] — the paper's amortized sequential working-set map (Section 5):
+//!   like Iacono's structure but an accessed item only moves forward by one
+//!   segment, which is the localisation of self-adjustment that M2's
+//!   pipelining builds on.  Theorem 7: its total cost satisfies the
+//!   working-set bound.
+//! * [`SplayMap`] — a classic top-down splay tree \[37\], the canonical
+//!   sequential self-adjusting baseline.
+//! * [`AvlMap`] — a non-adaptive balanced baseline (every access costs
+//!   `Θ(log n)` regardless of locality).
+//!
+//! Every structure implements [`InstrumentedMap`], returning a
+//! [`wsm_model::Cost`] per operation so the experiment harness can compare
+//! measured work against the working-set bound `W_L`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod avl;
+pub mod iacono;
+pub mod m0;
+pub mod splay;
+
+pub use avl::AvlMap;
+pub use iacono::IaconoMap;
+pub use m0::M0;
+pub use splay::SplayMap;
+
+use wsm_model::Cost;
+
+/// A sequential map instrumented with per-operation cost accounting.
+///
+/// `search` is an *access*: on self-adjusting structures it restructures the
+/// map (working-set promotion, splaying); on the AVL baseline it is a plain
+/// lookup.  All three operations return the affected value (previous value for
+/// `insert`, found value for `search`/`remove`) and the cost charged.
+pub trait InstrumentedMap<K, V> {
+    /// Searches for (accesses) a key.
+    fn search(&mut self, key: &K) -> (Option<V>, Cost);
+    /// Inserts a key/value pair, returning the previous value if any.
+    fn insert(&mut self, key: K, val: V) -> (Option<V>, Cost);
+    /// Removes a key, returning its value if present.
+    fn remove(&mut self, key: &K) -> (Option<V>, Cost);
+    /// Number of items currently stored.
+    fn len(&self) -> usize;
+    /// True if the map is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Total cost charged since construction.
+    fn total_cost(&self) -> Cost;
+}
+
+/// Capacity of segment `k` of a working-set structure: `2^(2^k)`, saturating
+/// at `u64::MAX` to avoid overflow for large `k`.
+pub fn segment_capacity(k: u32) -> u64 {
+    let exp = 1u64.checked_shl(k).unwrap_or(u64::MAX);
+    if exp >= 63 {
+        u64::MAX
+    } else {
+        1u64 << exp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_capacities() {
+        assert_eq!(segment_capacity(0), 2);
+        assert_eq!(segment_capacity(1), 4);
+        assert_eq!(segment_capacity(2), 16);
+        assert_eq!(segment_capacity(3), 256);
+        assert_eq!(segment_capacity(4), 65536);
+        assert_eq!(segment_capacity(5), 1 << 32);
+        assert_eq!(segment_capacity(6), u64::MAX);
+        assert_eq!(segment_capacity(40), u64::MAX);
+    }
+}

@@ -1,0 +1,411 @@
+//! Splay tree baseline (Sleator–Tarjan \[37\]).
+//!
+//! The classic sequential self-adjusting search tree: every access splays the
+//! accessed node to the root, which yields the working-set bound *amortized*
+//! (among other distribution-sensitive bounds).  The paper's structures give
+//! the same bound with worst-case parallel guarantees; the experiment harness
+//! uses this splay tree as the canonical sequential self-adjusting comparison
+//! point, and a coarse-locked version of it as a concurrent baseline (in the
+//! spirit of the CBTree discussion in Section 1).
+
+use crate::InstrumentedMap;
+use std::cmp::Ordering;
+use wsm_model::Cost;
+
+#[derive(Clone, Debug)]
+struct Node<K, V> {
+    key: K,
+    val: V,
+    left: Option<Box<Node<K, V>>>,
+    right: Option<Box<Node<K, V>>>,
+}
+
+/// A splay tree map with per-operation cost accounting (cost = number of nodes
+/// touched while splaying, i.e. the depth of the access).
+#[derive(Clone, Debug, Default)]
+pub struct SplayMap<K, V> {
+    root: Option<Box<Node<K, V>>>,
+    len: usize,
+    total: Cost,
+}
+
+fn rotate_right<K, V>(mut node: Box<Node<K, V>>) -> Box<Node<K, V>> {
+    let mut l = node.left.take().expect("rotate_right requires a left child");
+    node.left = l.right.take();
+    l.right = Some(node);
+    l
+}
+
+fn rotate_left<K, V>(mut node: Box<Node<K, V>>) -> Box<Node<K, V>> {
+    let mut r = node.right.take().expect("rotate_left requires a right child");
+    node.right = r.left.take();
+    r.left = Some(node);
+    r
+}
+
+/// Splays `key` towards the root of the subtree, returning the new subtree
+/// root: the node holding `key` if present, otherwise the last node on the
+/// search path.  `steps` counts the nodes visited.
+fn splay<K: Ord, V>(mut root: Box<Node<K, V>>, key: &K, steps: &mut u64) -> Box<Node<K, V>> {
+    *steps += 1;
+    match key.cmp(&root.key) {
+        Ordering::Equal => root,
+        Ordering::Less => {
+            let Some(mut l) = root.left.take() else {
+                return root;
+            };
+            *steps += 1;
+            match key.cmp(&l.key) {
+                Ordering::Less => {
+                    // Zig-zig: recurse into the left-left grandchild first.
+                    if let Some(ll) = l.left.take() {
+                        l.left = Some(splay(ll, key, steps));
+                    }
+                    root.left = Some(l);
+                    let new_root = rotate_right(root);
+                    if new_root.left.is_some() {
+                        rotate_right(new_root)
+                    } else {
+                        new_root
+                    }
+                }
+                Ordering::Greater => {
+                    // Zig-zag: recurse into the left-right grandchild.
+                    if let Some(lr) = l.right.take() {
+                        l.right = Some(splay(lr, key, steps));
+                    }
+                    let l = if l.right.is_some() { rotate_left(l) } else { l };
+                    root.left = Some(l);
+                    rotate_right(root)
+                }
+                Ordering::Equal => {
+                    root.left = Some(l);
+                    rotate_right(root)
+                }
+            }
+        }
+        Ordering::Greater => {
+            let Some(mut r) = root.right.take() else {
+                return root;
+            };
+            *steps += 1;
+            match key.cmp(&r.key) {
+                Ordering::Greater => {
+                    if let Some(rr) = r.right.take() {
+                        r.right = Some(splay(rr, key, steps));
+                    }
+                    root.right = Some(r);
+                    let new_root = rotate_left(root);
+                    if new_root.right.is_some() {
+                        rotate_left(new_root)
+                    } else {
+                        new_root
+                    }
+                }
+                Ordering::Less => {
+                    if let Some(rl) = r.left.take() {
+                        r.left = Some(splay(rl, key, steps));
+                    }
+                    let r = if r.left.is_some() { rotate_right(r) } else { r };
+                    root.right = Some(r);
+                    rotate_left(root)
+                }
+                Ordering::Equal => {
+                    root.right = Some(r);
+                    rotate_left(root)
+                }
+            }
+        }
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> SplayMap<K, V> {
+    /// Creates an empty splay tree.
+    pub fn new() -> Self {
+        SplayMap {
+            root: None,
+            len: 0,
+            total: Cost::ZERO,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Non-adjusting lookup (no splaying, no cost): for tests.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        let mut cur = self.root.as_deref();
+        while let Some(node) = cur {
+            match key.cmp(&node.key) {
+                Ordering::Equal => return Some(&node.val),
+                Ordering::Less => cur = node.left.as_deref(),
+                Ordering::Greater => cur = node.right.as_deref(),
+            }
+        }
+        None
+    }
+
+    /// Searches for `key`, splaying it (or its neighbour) to the root.
+    pub fn access(&mut self, key: &K) -> (Option<V>, Cost) {
+        let Some(root) = self.root.take() else {
+            let cost = Cost::UNIT;
+            self.total += cost;
+            return (None, cost);
+        };
+        let mut steps = 0;
+        let root = splay(root, key, &mut steps);
+        let found = (root.key == *key).then(|| root.val.clone());
+        self.root = Some(root);
+        let cost = Cost::serial(steps.max(1));
+        self.total += cost;
+        (found, cost)
+    }
+
+    /// Inserts `key`, splaying it to the root.  Returns the previous value.
+    pub fn insert_item(&mut self, key: K, val: V) -> (Option<V>, Cost) {
+        let Some(root) = self.root.take() else {
+            self.root = Some(Box::new(Node {
+                key,
+                val,
+                left: None,
+                right: None,
+            }));
+            self.len = 1;
+            let cost = Cost::UNIT;
+            self.total += cost;
+            return (None, cost);
+        };
+        let mut steps = 0;
+        let mut root = splay(root, &key, &mut steps);
+        let cost;
+        let prev;
+        match key.cmp(&root.key) {
+            Ordering::Equal => {
+                prev = Some(std::mem::replace(&mut root.val, val));
+                self.root = Some(root);
+            }
+            Ordering::Less => {
+                let mut new = Box::new(Node {
+                    key,
+                    val,
+                    left: None,
+                    right: None,
+                });
+                new.left = root.left.take();
+                new.right = Some(root);
+                self.root = Some(new);
+                self.len += 1;
+                prev = None;
+            }
+            Ordering::Greater => {
+                let mut new = Box::new(Node {
+                    key,
+                    val,
+                    left: None,
+                    right: None,
+                });
+                new.right = root.right.take();
+                new.left = Some(root);
+                self.root = Some(new);
+                self.len += 1;
+                prev = None;
+            }
+        }
+        cost = Cost::serial(steps.max(1) + 1);
+        self.total += cost;
+        (prev, cost)
+    }
+
+    /// Removes `key` if present.
+    pub fn remove_item(&mut self, key: &K) -> (Option<V>, Cost) {
+        let Some(root) = self.root.take() else {
+            let cost = Cost::UNIT;
+            self.total += cost;
+            return (None, cost);
+        };
+        let mut steps = 0;
+        let mut root = splay(root, key, &mut steps);
+        let result;
+        if root.key == *key {
+            let left = root.left.take();
+            let right = root.right.take();
+            result = Some(root.val.clone());
+            self.len -= 1;
+            self.root = match left {
+                None => right,
+                Some(left) => {
+                    // Splaying the left subtree by `key` brings its maximum to
+                    // the root (all its keys are smaller), leaving no right
+                    // child; attach the right subtree there.
+                    let mut left = splay(left, key, &mut steps);
+                    debug_assert!(left.right.is_none());
+                    left.right = right;
+                    Some(left)
+                }
+            };
+        } else {
+            result = None;
+            self.root = Some(root);
+        }
+        let cost = Cost::serial(steps.max(1));
+        self.total += cost;
+        (result, cost)
+    }
+
+    /// Height of the tree (for diagnostics).
+    pub fn height(&self) -> usize {
+        fn h<K, V>(n: &Option<Box<Node<K, V>>>) -> usize {
+            n.as_ref().map_or(0, |n| 1 + h(&n.left).max(h(&n.right)))
+        }
+        h(&self.root)
+    }
+
+    /// Validates the binary-search-tree ordering invariant.
+    pub fn check_invariants(&self) {
+        fn check<K: Ord, V>(n: &Option<Box<Node<K, V>>>, lo: Option<&K>, hi: Option<&K>) -> usize {
+            match n {
+                None => 0,
+                Some(n) => {
+                    if let Some(lo) = lo {
+                        assert!(&n.key > lo, "BST order violated");
+                    }
+                    if let Some(hi) = hi {
+                        assert!(&n.key < hi, "BST order violated");
+                    }
+                    1 + check(&n.left, lo, Some(&n.key)) + check(&n.right, Some(&n.key), hi)
+                }
+            }
+        }
+        let count = check(&self.root, None, None);
+        assert_eq!(count, self.len, "length does not match node count");
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> InstrumentedMap<K, V> for SplayMap<K, V> {
+    fn search(&mut self, key: &K) -> (Option<V>, Cost) {
+        self.access(key)
+    }
+    fn insert(&mut self, key: K, val: V) -> (Option<V>, Cost) {
+        self.insert_item(key, val)
+    }
+    fn remove(&mut self, key: &K) -> (Option<V>, Cost) {
+        self.remove_item(key)
+    }
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn total_cost(&self) -> Cost {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_btreemap_model() {
+        use std::collections::BTreeMap;
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut m = SplayMap::new();
+        let mut state = 12345u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2000 {
+            let key = next() % 200;
+            match next() % 3 {
+                0 => {
+                    let v = next();
+                    assert_eq!(m.insert_item(key, v).0, model.insert(key, v));
+                }
+                1 => assert_eq!(m.access(&key).0, model.get(&key).copied()),
+                _ => assert_eq!(m.remove_item(&key).0, model.remove(&key)),
+            }
+            assert_eq!(m.len(), model.len());
+        }
+        m.check_invariants();
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m = SplayMap::new();
+        for i in 0..100u64 {
+            assert_eq!(m.insert_item(i, i * 3).0, None);
+        }
+        m.check_invariants();
+        assert_eq!(m.len(), 100);
+        for i in 0..100u64 {
+            assert_eq!(m.access(&i).0, Some(i * 3), "key {i}");
+        }
+        for i in 0..100u64 {
+            assert_eq!(m.remove_item(&i).0, Some(i * 3));
+            m.check_invariants();
+        }
+        assert!(m.is_empty());
+        assert_eq!(m.access(&5).0, None);
+    }
+
+    #[test]
+    fn accessed_key_becomes_root() {
+        let mut m = SplayMap::new();
+        for i in 0..64u64 {
+            m.insert_item(i, i);
+        }
+        m.access(&13);
+        assert_eq!(m.root.as_ref().map(|n| n.key), Some(13));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn repeated_access_is_cheap() {
+        let mut m = SplayMap::new();
+        for i in 0..4096u64 {
+            m.insert_item(i, i);
+        }
+        // First access may be deep, repeated accesses are O(1)-ish.
+        m.access(&2000);
+        let (_, second) = m.access(&2000);
+        assert!(second.work <= 3, "repeated access should touch the root: {second}");
+    }
+
+    #[test]
+    fn sequential_access_costs_linear_total() {
+        // The sequential-access theorem for splay trees: scanning all keys in
+        // order costs O(n) total.  We only check it is far below n log n.
+        let n = 4096u64;
+        let mut m = SplayMap::new();
+        for i in 0..n {
+            m.insert_item(i, i);
+        }
+        let before = m.total_cost().work;
+        for i in 0..n {
+            m.access(&i);
+        }
+        let scan_cost = m.total_cost().work - before;
+        assert!(
+            scan_cost < 8 * n,
+            "sequential scan should be ~linear, got {scan_cost} for n={n}"
+        );
+    }
+
+    #[test]
+    fn replace_value_returns_previous() {
+        let mut m = SplayMap::new();
+        m.insert_item(9u64, 1u64);
+        let (prev, _) = m.insert_item(9, 2);
+        assert_eq!(prev, Some(1));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.peek(&9), Some(&2));
+    }
+}

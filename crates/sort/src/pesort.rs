@@ -1,0 +1,229 @@
+//! Parallel entropy sort PESort (paper Definition 32, Theorem 33).
+//!
+//! PESort is a quicksort variant: the pivot is chosen by [`crate::ppivot`]
+//! (so it always lies in the middle two quartiles), the input is partitioned
+//! into a lower part, a middle part equal to the pivot and an upper part, and
+//! the lower/upper parts are sorted recursively (in parallel).  An item that
+//! occurs `r` times out of `n` traverses only `O(log(n / r))` recursion
+//! levels, which is where the `O(nH + n)` work bound comes from; the recursion
+//! depth is `O(log n)`, giving `O(log² n)` span.
+//!
+//! Equal items are *kept in their original relative order* (every partition is
+//! a stable three-way split), so the grouped output can be used directly to
+//! combine duplicate operations in a batch.
+
+use crate::ppivot::ppivot_by;
+use std::cmp::Ordering;
+use wsm_model::{ceil_log2, Cost};
+
+/// Inputs below this size are sorted directly (and sequentially).
+const SMALL: usize = 24;
+/// Inputs below this size do not spawn parallel recursive calls.
+const PAR_GRAIN: usize = 2048;
+
+/// Statistics of one sort invocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SortStats {
+    /// Analytic work/span of the sort in the QRMW model.
+    pub cost: Cost,
+    /// Number of key comparisons actually performed.
+    pub comparisons: u64,
+}
+
+/// Sorts `items` by `cmp`, returning the sorted vector and the analytic cost.
+///
+/// The sort is stable for items that compare equal.
+pub fn pesort_by<T, F>(items: Vec<T>, cmp: &F) -> (Vec<T>, Cost)
+where
+    T: Clone + Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    pesort_rec(items, cmp)
+}
+
+/// Sorts `items` by the natural order, returning the sorted vector and cost.
+pub fn pesort<T: Ord + Clone + Send>(items: Vec<T>) -> (Vec<T>, Cost) {
+    pesort_by(items, &T::cmp)
+}
+
+/// Sorts the *indices* of `keys` by key, grouping equal keys: the result is a
+/// list of `(key, positions)` pairs in ascending key order, where `positions`
+/// are the indices of that key's occurrences in their original order.
+///
+/// This is the "sort the batch and combine duplicate operations" step of M1
+/// and M2 (Section 6.1 step "ESort + Combine").
+pub fn pesort_group<K: Ord + Clone + Send + Sync>(keys: &[K]) -> (Vec<(K, Vec<usize>)>, Cost) {
+    let tagged: Vec<(K, usize)> = keys.iter().cloned().zip(0..keys.len()).collect();
+    let (sorted, cost) = pesort_by(tagged, &|a: &(K, usize), b: &(K, usize)| a.0.cmp(&b.0));
+    let mut groups: Vec<(K, Vec<usize>)> = Vec::new();
+    for (key, idx) in sorted {
+        match groups.last_mut() {
+            Some((k, positions)) if *k == key => positions.push(idx),
+            _ => groups.push((key, vec![idx])),
+        }
+    }
+    // Grouping is a linear scan, perfectly parallelisable as a prefix
+    // computation; charge its work flat.
+    let group_cost = Cost::flat(keys.len() as u64);
+    (groups, cost.then(group_cost))
+}
+
+fn small_sort<T, F>(mut items: Vec<T>, cmp: &F) -> (Vec<T>, Cost)
+where
+    T: Clone,
+    F: Fn(&T, &T) -> Ordering,
+{
+    let k = items.len() as u64;
+    items.sort_by(cmp);
+    (items, Cost::serial(k * (u64::from(ceil_log2(k.max(1))) + 1)))
+}
+
+fn pesort_rec<T, F>(items: Vec<T>, cmp: &F) -> (Vec<T>, Cost)
+where
+    T: Clone + Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let k = items.len();
+    if k <= SMALL {
+        return small_sort(items, cmp);
+    }
+    let (pivot_idx, pivot_cost) = ppivot_by(&items, cmp);
+    let pivot = items[pivot_idx].clone();
+
+    // Stable three-way partition.  The paper parallelises this with a
+    // prefix-sum; the analytic span charged below reflects that, while the
+    // concrete partition is a sequential scan (see DESIGN.md substitution #1).
+    let mut lower = Vec::new();
+    let mut middle = Vec::new();
+    let mut upper = Vec::new();
+    for item in items {
+        match cmp(&item, &pivot) {
+            Ordering::Less => lower.push(item),
+            Ordering::Equal => middle.push(item),
+            Ordering::Greater => upper.push(item),
+        }
+    }
+    let partition_cost = Cost::new(k as u64, u64::from(ceil_log2(k as u64)) + 1);
+
+    let ((mut sorted_lower, lower_cost), (sorted_upper, upper_cost)) = if k >= PAR_GRAIN {
+        rayon::join(|| pesort_rec(lower, cmp), || pesort_rec(upper, cmp))
+    } else {
+        (pesort_rec(lower, cmp), pesort_rec(upper, cmp))
+    };
+
+    sorted_lower.extend(middle);
+    sorted_lower.extend(sorted_upper);
+    let total = pivot_cost
+        .then(partition_cost)
+        .then(lower_cost.par(upper_cost))
+        .then(Cost::UNIT);
+    (sorted_lower, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsm_model::entropy_bound;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn sorts_like_std() {
+        let mut state = 42;
+        for n in [0usize, 1, 2, 10, 100, 1000, 5000] {
+            let items: Vec<u64> = (0..n).map(|_| xorshift(&mut state) % 500).collect();
+            let mut expected = items.clone();
+            expected.sort();
+            let (got, _) = pesort(items);
+            assert_eq!(got, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn already_sorted_and_reverse_inputs() {
+        let asc: Vec<u64> = (0..3000).collect();
+        let desc: Vec<u64> = (0..3000).rev().collect();
+        assert_eq!(pesort(asc.clone()).0, asc);
+        assert_eq!(pesort(desc).0, asc);
+    }
+
+    #[test]
+    fn grouping_preserves_arrival_order_within_key() {
+        let keys = vec![5u64, 1, 5, 3, 1, 5, 3, 3, 3];
+        let (groups, _) = pesort_group(&keys);
+        let keys_only: Vec<u64> = groups.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys_only, vec![1, 3, 5]);
+        let by_key: std::collections::BTreeMap<u64, Vec<usize>> = groups.into_iter().collect();
+        assert_eq!(by_key[&1], vec![1, 4]);
+        assert_eq!(by_key[&3], vec![3, 6, 7, 8]);
+        assert_eq!(by_key[&5], vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn stability_on_equal_keys() {
+        // Sort pairs by first component only; second component records arrival
+        // order and must remain ascending within each key.
+        let mut state = 9;
+        let items: Vec<(u64, usize)> = (0..4000)
+            .map(|i| (xorshift(&mut state) % 16, i))
+            .collect();
+        let (sorted, _) = pesort_by(items, &|a: &(u64, usize), b: &(u64, usize)| a.0.cmp(&b.0));
+        for w in sorted.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "equal keys reordered");
+            }
+        }
+    }
+
+    #[test]
+    fn work_tracks_entropy_bound() {
+        // Low-entropy input (few distinct values, very skewed) must cost much
+        // less work than a high-entropy input of the same length.
+        let n = 20_000usize;
+        let mut state = 77;
+        let low: Vec<u64> = (0..n)
+            .map(|_| if xorshift(&mut state) % 100 < 95 { 0 } else { xorshift(&mut state) % 4 })
+            .collect();
+        let high: Vec<u64> = (0..n).map(|_| xorshift(&mut state)).collect();
+        let (_, low_cost) = pesort(low.clone());
+        let (_, high_cost) = pesort(high.clone());
+        assert!(
+            (low_cost.work as f64) < (high_cost.work as f64) * 0.5,
+            "low-entropy sort ({}) should be far cheaper than high-entropy ({})",
+            low_cost.work,
+            high_cost.work
+        );
+        // And both are within a constant factor of n(H+1).
+        let low_bound = entropy_bound(&low);
+        let high_bound = entropy_bound(&high);
+        assert!((low_cost.work as f64) < 16.0 * low_bound + 1000.0);
+        assert!((high_cost.work as f64) < 16.0 * high_bound + 1000.0);
+    }
+
+    #[test]
+    fn span_is_polylog() {
+        let mut state = 5;
+        let items: Vec<u64> = (0..50_000).map(|_| xorshift(&mut state)).collect();
+        let (_, cost) = pesort(items);
+        let logn = (50_000f64).log2();
+        assert!(
+            (cost.span as f64) < 8.0 * logn * logn,
+            "span {} exceeds O(log^2 n)",
+            cost.span
+        );
+    }
+
+    #[test]
+    fn all_equal_input_is_linear_work() {
+        let items = vec![7u64; 10_000];
+        let (sorted, cost) = pesort(items.clone());
+        assert_eq!(sorted, items);
+        assert!(cost.work < 20 * 10_000, "all-equal input must be ~linear");
+    }
+}

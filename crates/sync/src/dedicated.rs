@@ -1,0 +1,266 @@
+//! Dedicated lock with keys (paper Definition 37).
+//!
+//! A dedicated lock is a blocking lock initialised with keys `0..k` for a
+//! constant `k`; simultaneous acquisitions must use distinct keys.  The
+//! release handoff scans the key slots cyclically starting from the last
+//! holder's key, so when a thread attempts to acquire the lock it obtains it
+//! after at most `O(1)` (at most `k - 1`) other threads that attempted to
+//! acquire it at the same time or later — the bounded-overtaking property the
+//! paper's delay analysis (Lemma 18, Lemma 19) relies on.
+//!
+//! The paper's pseudo-code stores a continuation pointer per key and resumes
+//! it on release; here each key slot parks the acquiring OS thread and the
+//! releasing thread unparks the next one in cyclic key order.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[derive(Debug, Default)]
+struct Slot {
+    /// Whether a thread is currently parked on this key waiting for handoff.
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    #[default]
+    Empty,
+    /// A thread registered on this key and is waiting to be granted the lock.
+    Waiting,
+    /// The releaser granted the lock to the thread parked on this key.
+    Granted,
+}
+
+/// A blocking lock with `k` keys and cyclic handoff (Definition 37).
+///
+/// Each concurrent acquirer must use a distinct key in `0..k`; this is the
+/// caller's responsibility (in M2 each arrow in Figures 2–3 is a fixed key).
+/// Violating it is memory-safe but can deadlock, exactly as in the paper.
+#[derive(Debug)]
+pub struct DedicatedLock {
+    /// Number of threads holding or waiting for the lock.
+    count: AtomicUsize,
+    /// Key of the current holder (only meaningful while the lock is held).
+    holder: AtomicUsize,
+    slots: Vec<Slot>,
+}
+
+impl DedicatedLock {
+    /// Creates a dedicated lock with keys `0..keys`.
+    ///
+    /// # Panics
+    /// Panics if `keys == 0`.
+    pub fn new(keys: usize) -> Self {
+        assert!(keys > 0, "a dedicated lock needs at least one key");
+        DedicatedLock {
+            count: AtomicUsize::new(0),
+            holder: AtomicUsize::new(0),
+            slots: (0..keys).map(|_| Slot::default()).collect(),
+        }
+    }
+
+    /// Number of keys.
+    pub fn keys(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Acquires the lock using `key`, blocking (parking the thread) if the
+    /// lock is currently held.
+    ///
+    /// # Panics
+    /// Panics if `key >= keys()`.
+    pub fn acquire(&self, key: usize) {
+        assert!(key < self.slots.len(), "key {key} out of range");
+        if self.count.fetch_add(1, Ordering::AcqRel) == 0 {
+            // Uncontended fast path: we now hold the lock.
+            self.holder.store(key, Ordering::Release);
+            return;
+        }
+        // Register on our slot and wait for the handoff.
+        let slot = &self.slots[key];
+        let mut st = slot.state.lock();
+        debug_assert_eq!(
+            *st,
+            SlotState::Empty,
+            "dedicated-lock key {key} used by two concurrent acquirers"
+        );
+        *st = SlotState::Waiting;
+        while *st != SlotState::Granted {
+            slot.cv.wait(&mut st);
+        }
+        *st = SlotState::Empty;
+        self.holder.store(key, Ordering::Release);
+    }
+
+    /// Acquires the lock and returns an RAII guard that releases it on drop.
+    pub fn acquire_guard(&self, key: usize) -> DedicatedGuard<'_> {
+        self.acquire(key);
+        DedicatedGuard { lock: self }
+    }
+
+    /// Releases the lock, handing it to the waiting thread whose key follows
+    /// the current holder's key in cyclic order (if any).
+    pub fn release(&self) {
+        let holder = self.holder.load(Ordering::Acquire);
+        if self.count.fetch_sub(1, Ordering::AcqRel) > 1 {
+            // Someone is (or is about to be) waiting: scan cyclically from the
+            // key after the holder's until we find a registered waiter.  The
+            // waiter may still be between its fetch_add and its registration,
+            // so we keep scanning — this mirrors the `while p = null` loop of
+            // the paper's pseudo-code.
+            let k = self.slots.len();
+            let mut j = holder;
+            loop {
+                j = (j + 1) % k;
+                let slot = &self.slots[j];
+                let mut st = slot.state.lock();
+                if *st == SlotState::Waiting {
+                    *st = SlotState::Granted;
+                    slot.cv.notify_one();
+                    return;
+                }
+                drop(st);
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Number of threads currently holding or waiting for the lock (racy; for
+    /// diagnostics and tests).
+    pub fn contenders(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII guard for [`DedicatedLock`].
+#[derive(Debug)]
+pub struct DedicatedGuard<'a> {
+    lock: &'a DedicatedLock,
+}
+
+impl Drop for DedicatedGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn uncontended_acquire_release() {
+        let l = DedicatedLock::new(2);
+        l.acquire(0);
+        assert_eq!(l.contenders(), 1);
+        l.release();
+        assert_eq!(l.contenders(), 0);
+        l.acquire(1);
+        l.release();
+    }
+
+    #[test]
+    fn guard_releases() {
+        let l = DedicatedLock::new(1);
+        {
+            let _g = l.acquire_guard(0);
+            assert_eq!(l.contenders(), 1);
+        }
+        assert_eq!(l.contenders(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn zero_keys_panics() {
+        let _ = DedicatedLock::new(0);
+    }
+
+    #[test]
+    fn mutual_exclusion_two_keys() {
+        let lock = Arc::new(DedicatedLock::new(2));
+        let in_cs = Arc::new(AtomicU64::new(0));
+        let total = Arc::new(AtomicU64::new(0));
+        let iters = 5000u64;
+        let handles: Vec<_> = (0..2usize)
+            .map(|key| {
+                let lock = Arc::clone(&lock);
+                let in_cs = Arc::clone(&in_cs);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..iters {
+                        lock.acquire(key);
+                        let now = in_cs.fetch_add(1, Ordering::SeqCst);
+                        assert_eq!(now, 0, "two threads in the critical section");
+                        total.fetch_add(1, Ordering::Relaxed);
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                        lock.release();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 2 * iters);
+    }
+
+    #[test]
+    fn mutual_exclusion_many_keys() {
+        let n = 8usize;
+        let lock = Arc::new(DedicatedLock::new(n));
+        let in_cs = Arc::new(AtomicU64::new(0));
+        let total = Arc::new(AtomicU64::new(0));
+        let iters = 1000u64;
+        let handles: Vec<_> = (0..n)
+            .map(|key| {
+                let lock = Arc::clone(&lock);
+                let in_cs = Arc::clone(&in_cs);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..iters {
+                        let _g = lock.acquire_guard(key);
+                        let now = in_cs.fetch_add(1, Ordering::SeqCst);
+                        assert_eq!(now, 0, "two threads in the critical section");
+                        total.fetch_add(1, Ordering::Relaxed);
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), n as u64 * iters);
+    }
+
+    #[test]
+    fn handoff_is_cyclic_from_holder() {
+        // With 3 keys: thread holding key 0 releases while threads wait on
+        // keys 1 and 2; key 1 must be granted before key 2.
+        let lock = Arc::new(DedicatedLock::new(3));
+        lock.acquire(0);
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+
+        let mut handles = Vec::new();
+        for key in [1usize, 2usize] {
+            let lock = Arc::clone(&lock);
+            let order = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                lock.acquire(key);
+                order.lock().unwrap().push(key);
+                lock.release();
+            }));
+            // Give the thread time to register its wait before spawning the
+            // next, so both are queued when we release.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        lock.release();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(&*order.lock().unwrap(), &[1, 2]);
+    }
+}

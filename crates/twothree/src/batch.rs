@@ -1,0 +1,338 @@
+//! Batch operations on [`Tree23`] (the "normal batch operation" of Appendix
+//! A.2).
+//!
+//! All batch operations take an *item-sorted* batch of distinct keys, exactly
+//! as the paper requires (the working-set maps entropy-sort and combine each
+//! batch before it reaches the trees).  The divide-and-conquer over the batch
+//! performs `Θ(b log n)` work; the recursion is parallelised with
+//! `rayon::join` above a grain size in the `par_*` variants, which the
+//! concurrent front-ends use for wall-clock throughput.
+
+use crate::node::Node;
+use crate::tree::Tree23;
+
+/// Minimum batch size before the parallel variants split work across rayon.
+pub const PAR_GRAIN: usize = 256;
+
+impl<K: Ord + Clone, V> Tree23<K, V> {
+    /// Looks up each key of a sorted batch; returns one result per key in the
+    /// same order.
+    pub fn batch_get(&self, keys: &[K]) -> Vec<Option<&V>> {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "batch must be sorted");
+        keys.iter().map(|k| self.get(k)).collect()
+    }
+
+    /// Inserts a sorted batch of distinct keys.  Returns, per item, the value
+    /// previously stored under that key (if any).
+    pub fn batch_insert(&mut self, items: Vec<(K, V)>) -> Vec<Option<V>> {
+        debug_assert!(
+            items.windows(2).all(|w| w[0].0 < w[1].0),
+            "batch must be sorted with distinct keys"
+        );
+        let root = self.root.take();
+        let (root, replaced) = batch_insert_node(root, items);
+        self.root = root;
+        replaced
+    }
+
+    /// Removes a sorted batch of distinct keys.  Returns, per key, the removed
+    /// item (if it was present).
+    pub fn batch_remove(&mut self, keys: &[K]) -> Vec<Option<(K, V)>> {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "batch must be sorted");
+        let root = self.root.take();
+        let (root, removed) = batch_remove_node(root, keys);
+        self.root = root;
+        removed
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync, V: Send + Sync> Tree23<K, V> {
+    /// Parallel variant of [`Tree23::batch_get`].
+    pub fn par_batch_get(&self, keys: &[K]) -> Vec<Option<&V>> {
+        use rayon::prelude::*;
+        if keys.len() < PAR_GRAIN {
+            return self.batch_get(keys);
+        }
+        keys.par_iter().map(|k| self.get(k)).collect()
+    }
+
+    /// Parallel variant of [`Tree23::batch_insert`].
+    pub fn par_batch_insert(&mut self, items: Vec<(K, V)>) -> Vec<Option<V>> {
+        debug_assert!(
+            items.windows(2).all(|w| w[0].0 < w[1].0),
+            "batch must be sorted with distinct keys"
+        );
+        let root = self.root.take();
+        let (root, replaced) = par_batch_insert_node(root, items);
+        self.root = root;
+        replaced
+    }
+
+    /// Parallel variant of [`Tree23::batch_remove`].
+    pub fn par_batch_remove(&mut self, keys: &[K]) -> Vec<Option<(K, V)>> {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "batch must be sorted");
+        let root = self.root.take();
+        let (root, removed) = par_batch_remove_node(root, keys);
+        self.root = root;
+        removed
+    }
+}
+
+type InsertOut<K, V> = (Option<Node<K, V>>, Vec<Option<V>>);
+type RemoveOut<K, V> = (Option<Node<K, V>>, Vec<Option<(K, V)>>);
+
+fn batch_insert_node<K: Ord + Clone, V>(
+    t: Option<Node<K, V>>,
+    mut items: Vec<(K, V)>,
+) -> InsertOut<K, V> {
+    match items.len() {
+        0 => (t, Vec::new()),
+        1 => {
+            let (k, v) = items.pop().expect("one item");
+            let (left, found, right) = match t {
+                None => (None, None, None),
+                Some(t) => t.split_at_key(&k),
+            };
+            let joined = Node::join_opt(Node::join_opt(left, Some(Node::leaf(k, v))), right);
+            (joined, vec![found.map(|(_, v)| v)])
+        }
+        len => {
+            let mid = len / 2;
+            let mut right_items = items.split_off(mid);
+            let (mid_k, mid_v) = right_items.remove(0);
+            let (left_t, found, right_t) = match t {
+                None => (None, None, None),
+                Some(t) => t.split_at_key(&mid_k),
+            };
+            let (left_t, mut out) = batch_insert_node(left_t, items);
+            out.push(found.map(|(_, v)| v));
+            let (right_t, right_out) = batch_insert_node(right_t, right_items);
+            out.extend(right_out);
+            let joined = Node::join_opt(
+                Node::join_opt(left_t, Some(Node::leaf(mid_k, mid_v))),
+                right_t,
+            );
+            (joined, out)
+        }
+    }
+}
+
+fn par_batch_insert_node<K: Ord + Clone + Send + Sync, V: Send + Sync>(
+    t: Option<Node<K, V>>,
+    mut items: Vec<(K, V)>,
+) -> InsertOut<K, V> {
+    let len = items.len();
+    if len < PAR_GRAIN {
+        return batch_insert_node(t, items);
+    }
+    let mid = len / 2;
+    let mut right_items = items.split_off(mid);
+    let (mid_k, mid_v) = right_items.remove(0);
+    let (left_t, found, right_t) = match t {
+        None => (None, None, None),
+        Some(t) => t.split_at_key(&mid_k),
+    };
+    let ((left_t, mut out), (right_t, right_out)) = rayon::join(
+        || par_batch_insert_node(left_t, items),
+        || par_batch_insert_node(right_t, right_items),
+    );
+    out.push(found.map(|(_, v)| v));
+    // `out` currently holds left results followed by the mid result; fix the
+    // order so the mid result sits between left and right results.
+    // (push placed it at the end of the left results, which is exactly the
+    // right position because left results all precede the mid key.)
+    out.extend(right_out);
+    let joined = Node::join_opt(
+        Node::join_opt(left_t, Some(Node::leaf(mid_k, mid_v))),
+        right_t,
+    );
+    (joined, out)
+}
+
+fn batch_remove_node<K: Ord + Clone, V>(t: Option<Node<K, V>>, keys: &[K]) -> RemoveOut<K, V> {
+    match keys.len() {
+        0 => (t, Vec::new()),
+        1 => {
+            let k = &keys[0];
+            let (left, found, right) = match t {
+                None => (None, None, None),
+                Some(t) => t.split_at_key(k),
+            };
+            (Node::join_opt(left, right), vec![found])
+        }
+        len => {
+            let mid = len / 2;
+            let mid_k = &keys[mid];
+            let (left_t, found, right_t) = match t {
+                None => (None, None, None),
+                Some(t) => t.split_at_key(mid_k),
+            };
+            let (left_t, mut out) = batch_remove_node(left_t, &keys[..mid]);
+            out.push(found);
+            let (right_t, right_out) = batch_remove_node(right_t, &keys[mid + 1..]);
+            out.extend(right_out);
+            (Node::join_opt(left_t, right_t), out)
+        }
+    }
+}
+
+fn par_batch_remove_node<K: Ord + Clone + Send + Sync, V: Send + Sync>(
+    t: Option<Node<K, V>>,
+    keys: &[K],
+) -> RemoveOut<K, V> {
+    let len = keys.len();
+    if len < PAR_GRAIN {
+        return batch_remove_node(t, keys);
+    }
+    let mid = len / 2;
+    let mid_k = &keys[mid];
+    let (left_t, found, right_t) = match t {
+        None => (None, None, None),
+        Some(t) => t.split_at_key(mid_k),
+    };
+    let ((left_t, mut out), (right_t, right_out)) = rayon::join(
+        || par_batch_remove_node(left_t, &keys[..mid]),
+        || par_batch_remove_node(right_t, &keys[mid + 1..]),
+    );
+    out.push(found);
+    out.extend(right_out);
+    (Node::join_opt(left_t, right_t), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sorted_distinct(mut v: Vec<u64>) -> Vec<u64> {
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn batch_insert_into_empty() {
+        let mut t: Tree23<u64, u64> = Tree23::new();
+        let items: Vec<(u64, u64)> = (0..100).map(|i| (i, i + 1000)).collect();
+        let replaced = t.batch_insert(items);
+        assert!(replaced.iter().all(Option::is_none));
+        assert_eq!(t.len(), 100);
+        t.check_invariants();
+        for i in 0..100u64 {
+            assert_eq!(t.get(&i), Some(&(i + 1000)));
+        }
+    }
+
+    #[test]
+    fn batch_insert_reports_replacements() {
+        let mut t: Tree23<u64, u64> = (0..50u64).map(|i| (i * 2, i)).collect();
+        // Insert keys 0..100: even keys replace, odd keys are new.
+        let items: Vec<(u64, u64)> = (0..100).map(|i| (i, 7)).collect();
+        let replaced = t.batch_insert(items);
+        assert_eq!(t.len(), 100);
+        for (i, r) in replaced.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(*r, Some(i as u64 / 2), "even key {i} should replace");
+            } else {
+                assert_eq!(*r, None, "odd key {i} should be fresh");
+            }
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn batch_remove_mixed_presence() {
+        let mut t: Tree23<u64, u64> = (0..100u64).map(|i| (i, i)).collect();
+        let keys = sorted_distinct((0..200).step_by(3).collect());
+        let removed = t.batch_remove(&keys);
+        for (k, r) in keys.iter().zip(&removed) {
+            if *k < 100 {
+                assert_eq!(*r, Some((*k, *k)));
+            } else {
+                assert_eq!(*r, None);
+            }
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 100 - keys.iter().filter(|&&k| k < 100).count());
+    }
+
+    #[test]
+    fn batch_get_matches_single_get() {
+        let t: Tree23<u64, u64> = (0..100u64).filter(|i| i % 3 == 0).map(|i| (i, i)).collect();
+        let keys: Vec<u64> = (0..100).collect();
+        let got = t.batch_get(&keys);
+        for (k, g) in keys.iter().zip(got) {
+            assert_eq!(g, t.get(k));
+        }
+    }
+
+    #[test]
+    fn batch_ops_match_btreemap_model() {
+        // Deterministic pseudo-random mixed batches compared against BTreeMap.
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut tree: Tree23<u64, u64> = Tree23::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..30 {
+            let b = 1 + (next() % 64) as usize;
+            if round % 3 == 2 {
+                let keys = sorted_distinct((0..b).map(|_| next() % 256).collect());
+                let removed = tree.batch_remove(&keys);
+                for (k, r) in keys.iter().zip(removed) {
+                    assert_eq!(r.map(|(_, v)| v), model.remove(k));
+                }
+            } else {
+                let keys = sorted_distinct((0..b).map(|_| next() % 256).collect());
+                let items: Vec<(u64, u64)> = keys.iter().map(|&k| (k, next())).collect();
+                let replaced = tree.batch_insert(items.clone());
+                for ((k, v), r) in items.iter().zip(replaced) {
+                    assert_eq!(r, model.insert(*k, *v));
+                }
+            }
+            tree.check_invariants();
+            assert_eq!(tree.len(), model.len());
+        }
+        // Final content check.
+        for (k, v) in &model {
+            assert_eq!(tree.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn par_variants_match_sequential() {
+        let items: Vec<(u64, u64)> = (0..5000u64).map(|i| (i * 2, i)).collect();
+        let mut seq_tree: Tree23<u64, u64> = Tree23::new();
+        let mut par_tree: Tree23<u64, u64> = Tree23::new();
+        assert_eq!(
+            seq_tree.batch_insert(items.clone()),
+            par_tree.par_batch_insert(items)
+        );
+        seq_tree.check_invariants();
+        par_tree.check_invariants();
+
+        let keys: Vec<u64> = (0..10000u64).collect();
+        assert_eq!(seq_tree.batch_get(&keys), par_tree.par_batch_get(&keys));
+
+        let remove_keys: Vec<u64> = (0..10000u64).step_by(3).collect();
+        assert_eq!(
+            seq_tree.batch_remove(&remove_keys),
+            par_tree.par_batch_remove(&remove_keys)
+        );
+        assert_eq!(seq_tree.len(), par_tree.len());
+        par_tree.check_invariants();
+    }
+
+    #[test]
+    fn empty_batches_are_noops() {
+        let mut t: Tree23<u64, u64> = (0..10u64).map(|i| (i, i)).collect();
+        assert!(t.batch_insert(Vec::new()).is_empty());
+        assert!(t.batch_remove(&[]).is_empty());
+        assert!(t.batch_get(&[]).is_empty());
+        assert_eq!(t.len(), 10);
+    }
+}

@@ -1,0 +1,83 @@
+//! Analytic cost formulas for batched parallel 2-3 tree operations
+//! (paper Appendix A.2).
+//!
+//! A normal batch operation of `b` item-sorted operations on a tree of `n`
+//! items takes `Θ(b · log n)` work and `O(log b + log n)` span; a
+//! reverse-indexing operation has the same bounds.  The instrumented map
+//! structures (M0, M1, M2) charge these costs to their [`wsm_model::CostMeter`]
+//! when they touch a segment, which is exactly how the paper's work/span
+//! proofs account for segment accesses (Lemma 11, Corollary 17, Lemma 20).
+
+use wsm_model::{ceil_log2, Cost};
+
+/// Cost of a single-item operation (search / insert / delete) on a tree of
+/// `n` items: `O(log n + 1)` work and span.
+pub fn single_op(n: u64) -> Cost {
+    let steps = u64::from(ceil_log2(n + 1)) + 1;
+    Cost::serial(steps)
+}
+
+/// Cost of a normal batch operation of `b` item-sorted operations on a tree of
+/// `n` items: `Θ(b log n)` work, `O(log b + log n)` span.
+pub fn batch_op(b: u64, n: u64) -> Cost {
+    if b == 0 {
+        return Cost::ZERO;
+    }
+    let logn = u64::from(ceil_log2(n + 1)) + 1;
+    let logb = u64::from(ceil_log2(b + 1)) + 1;
+    let span = logb + logn;
+    // Work can never be below span (a batch of one small operation still has
+    // to walk its own critical path).
+    Cost::new((b * logn + b).max(span), span)
+}
+
+/// Cost of a reverse-indexing operation of `b` direct pointers on a tree of
+/// `n` items (same bounds as a normal batch operation).
+pub fn reverse_index(b: u64, n: u64) -> Cost {
+    batch_op(b, n)
+}
+
+/// Cost of transferring `k` items between two adjacent segments whose total
+/// size is at most `n` (one take + one batch insert on trees of size ≤ n).
+pub fn transfer(k: u64, n: u64) -> Cost {
+    batch_op(k, n).then(batch_op(k, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_op_is_logarithmic() {
+        assert_eq!(single_op(0).work, 1);
+        assert_eq!(single_op(1).work, 2);
+        assert!(single_op(1 << 20).work >= 20);
+        assert!(single_op(1 << 20).work <= 24);
+    }
+
+    #[test]
+    fn batch_op_work_scales_linearly_in_b() {
+        let n = 1 << 16;
+        let c1 = batch_op(10, n);
+        let c2 = batch_op(1000, n);
+        assert!(c2.work > 90 * c1.work / 10 * 9 / 10, "work should be ~linear in b");
+        // Span grows only logarithmically with b.
+        assert!(c2.span <= c1.span + 10);
+    }
+
+    #[test]
+    fn batch_op_zero_is_free() {
+        assert_eq!(batch_op(0, 100), Cost::ZERO);
+    }
+
+    #[test]
+    fn span_is_sum_of_logs() {
+        let c = batch_op(1 << 10, 1 << 20);
+        assert!(c.span >= 30 && c.span <= 36, "span {} out of range", c.span);
+    }
+
+    #[test]
+    fn transfer_is_two_batch_ops() {
+        assert_eq!(transfer(8, 100).work, 2 * batch_op(8, 100).work);
+    }
+}

@@ -1,0 +1,38 @@
+//! # wsm-twothree — batched parallel 2-3 tree
+//!
+//! The working-set maps of the paper store every segment in a pair of
+//! balanced search trees (a *key-map* sorted by key and a *recency-map*
+//! sorted by recency), realised as **batched parallel 2-3 trees** in the style
+//! of Paul, Vishkin and Wagener (paper Appendix A.2).  A batched parallel 2-3
+//! tree supports, for an item-sorted batch of `b` operations on a tree of `n`
+//! items:
+//!
+//! * a *normal batch operation* (searches / insertions / deletions) in
+//!   `Θ(b · log n)` work and `O(log b + log n)` span, and
+//! * a *reverse-indexing operation* that converts direct pointers back into an
+//!   item-sorted batch within the same bounds.
+//!
+//! This crate provides:
+//!
+//! * [`Tree23`] — a leaf-based 2-3 tree with join/split based single and batch
+//!   operations (batch get / insert / remove, split by rank, take-front/back),
+//!   parallelised with rayon above a grain size;
+//! * [`RecencyMap`] — the key-map + recency-map pair used by every segment of
+//!   M0, M1 and M2.  Instead of the paper's cross-linked leaf pointers it keys
+//!   the recency-map by a monotone recency stamp (see DESIGN.md substitution
+//!   #3), which preserves the `Θ(b log n)` work / `O(log b + log n)` span
+//!   contract;
+//! * [`cost`] — the analytic cost formulas of Appendix A.2 used by the
+//!   instrumented map structures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cost;
+mod node;
+pub mod recency;
+pub mod tree;
+
+pub use recency::RecencyMap;
+pub use tree::Tree23;

@@ -1,0 +1,366 @@
+//! Internal node representation and the join/split primitives of the 2-3 tree.
+//!
+//! The tree is leaf-based: every item lives in a leaf, internal nodes have two
+//! or three children of equal height and cache the subtree size and maximum
+//! key for routing.  All structural operations are expressed through `join`
+//! (concatenate two trees whose key ranges do not interleave) and `split`
+//! (cut a tree at a key or at a rank), the classic building blocks for batch
+//! parallel operations on balanced trees.
+
+/// A node of the 2-3 tree: either a leaf holding an item or an internal node
+/// with 2–3 children of equal height.
+#[derive(Clone, Debug)]
+pub(crate) enum Node<K, V> {
+    Leaf { key: K, val: V },
+    Internal(Internal<K, V>),
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Internal<K, V> {
+    pub height: usize,
+    pub size: usize,
+    /// Maximum key in the subtree (used for routing searches and splits).
+    pub max: K,
+    pub children: Vec<Node<K, V>>,
+}
+
+impl<K: Ord + Clone, V> Node<K, V> {
+    pub fn leaf(key: K, val: V) -> Self {
+        Node::Leaf { key, val }
+    }
+
+    pub fn height(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Internal(i) => i.height,
+        }
+    }
+
+    pub fn size(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Internal(i) => i.size,
+        }
+    }
+
+    pub fn max_key(&self) -> &K {
+        match self {
+            Node::Leaf { key, .. } => key,
+            Node::Internal(i) => &i.max,
+        }
+    }
+
+    /// Builds an internal node from 2–3 children of equal height.
+    pub fn internal(children: Vec<Node<K, V>>) -> Self {
+        debug_assert!((2..=3).contains(&children.len()));
+        debug_assert!(children
+            .windows(2)
+            .all(|w| w[0].height() == w[1].height()));
+        let height = children[0].height() + 1;
+        let size = children.iter().map(Node::size).sum();
+        let max = children.last().expect("non-empty").max_key().clone();
+        Node::Internal(Internal {
+            height,
+            size,
+            max,
+            children,
+        })
+    }
+
+    /// Builds one or two nodes from 2–4 children of equal height.
+    fn from_children(mut children: Vec<Node<K, V>>) -> (Node<K, V>, Option<Node<K, V>>) {
+        debug_assert!((2..=4).contains(&children.len()));
+        if children.len() <= 3 {
+            (Node::internal(children), None)
+        } else {
+            let right = children.split_off(2);
+            (Node::internal(children), Some(Node::internal(right)))
+        }
+    }
+
+    /// Attaches tree `r` (strictly smaller height, keys all greater) to the
+    /// right spine of `l`.  Returns one or two nodes of `l`'s height.
+    fn attach_right(l: Node<K, V>, r: Node<K, V>) -> (Node<K, V>, Option<Node<K, V>>) {
+        debug_assert!(l.height() > r.height());
+        let Node::Internal(int) = l else {
+            unreachable!("attach_right target must be internal")
+        };
+        let mut children = int.children;
+        if int.height == r.height() + 1 {
+            children.push(r);
+        } else {
+            let last = children.pop().expect("internal node has children");
+            let (a, b) = Node::attach_right(last, r);
+            children.push(a);
+            if let Some(b) = b {
+                children.push(b);
+            }
+        }
+        Node::from_children(children)
+    }
+
+    /// Attaches tree `l` (strictly smaller height, keys all smaller) to the
+    /// left spine of `r`.  Returns one or two nodes of `r`'s height.
+    fn attach_left(l: Node<K, V>, r: Node<K, V>) -> (Node<K, V>, Option<Node<K, V>>) {
+        debug_assert!(r.height() > l.height());
+        let Node::Internal(int) = r else {
+            unreachable!("attach_left target must be internal")
+        };
+        let mut children = int.children;
+        if int.height == l.height() + 1 {
+            children.insert(0, l);
+        } else {
+            let first = children.remove(0);
+            let (a, b) = Node::attach_left(l, first);
+            if let Some(b) = b {
+                children.insert(0, b);
+            }
+            children.insert(0, a);
+        }
+        Node::from_children(children)
+    }
+
+    /// Joins two trees whose key ranges satisfy `max(l) <= min(r)` (callers
+    /// guarantee strict ordering for distinct keys).
+    pub fn join(l: Node<K, V>, r: Node<K, V>) -> Node<K, V> {
+        use std::cmp::Ordering::*;
+        match l.height().cmp(&r.height()) {
+            Equal => Node::internal(vec![l, r]),
+            Greater => {
+                let (a, b) = Node::attach_right(l, r);
+                match b {
+                    None => a,
+                    Some(b) => Node::internal(vec![a, b]),
+                }
+            }
+            Less => {
+                let (a, b) = Node::attach_left(l, r);
+                match b {
+                    None => a,
+                    Some(b) => Node::internal(vec![a, b]),
+                }
+            }
+        }
+    }
+
+    /// Joins two optional trees.
+    pub fn join_opt(l: Option<Node<K, V>>, r: Option<Node<K, V>>) -> Option<Node<K, V>> {
+        match (l, r) {
+            (None, r) => r,
+            (l, None) => l,
+            (Some(l), Some(r)) => Some(Node::join(l, r)),
+        }
+    }
+
+    /// Splits the tree at `key`: everything with key `< key` goes left, an
+    /// exact match is returned separately, everything with key `> key` goes
+    /// right.
+    #[allow(clippy::type_complexity)]
+    pub fn split_at_key(
+        self,
+        key: &K,
+    ) -> (Option<Node<K, V>>, Option<(K, V)>, Option<Node<K, V>>) {
+        match self {
+            Node::Leaf { key: k, val } => match key.cmp(&k) {
+                std::cmp::Ordering::Equal => (None, Some((k, val)), None),
+                std::cmp::Ordering::Less => (None, None, Some(Node::Leaf { key: k, val })),
+                std::cmp::Ordering::Greater => (Some(Node::Leaf { key: k, val }), None, None),
+            },
+            Node::Internal(int) => {
+                let children = int.children;
+                // Find the first child whose max key is >= key; if none, the
+                // key is larger than everything and the whole tree goes left.
+                let idx = children
+                    .iter()
+                    .position(|c| key <= c.max_key())
+                    .unwrap_or(children.len() - 1);
+                let mut left: Option<Node<K, V>> = None;
+                let mut right: Option<Node<K, V>> = None;
+                let mut found = None;
+                for (i, child) in children.into_iter().enumerate() {
+                    if i < idx {
+                        left = Node::join_opt(left, Some(child));
+                    } else if i == idx {
+                        let (l, f, r) = child.split_at_key(key);
+                        left = Node::join_opt(left, l);
+                        found = f;
+                        right = r;
+                    } else {
+                        right = Node::join_opt(right, Some(child));
+                    }
+                }
+                (left, found, right)
+            }
+        }
+    }
+
+    /// Splits the tree by rank: the first `rank` items (in key order) go left,
+    /// the rest go right.
+    pub fn split_at_rank(self, rank: usize) -> (Option<Node<K, V>>, Option<Node<K, V>>) {
+        if rank == 0 {
+            return (None, Some(self));
+        }
+        if rank >= self.size() {
+            return (Some(self), None);
+        }
+        match self {
+            Node::Leaf { .. } => unreachable!("rank split inside a leaf is handled above"),
+            Node::Internal(int) => {
+                let mut remaining = rank;
+                let mut left: Option<Node<K, V>> = None;
+                let mut right: Option<Node<K, V>> = None;
+                for child in int.children {
+                    if remaining == 0 {
+                        right = Node::join_opt(right, Some(child));
+                    } else if remaining >= child.size() {
+                        remaining -= child.size();
+                        left = Node::join_opt(left, Some(child));
+                    } else {
+                        let (l, r) = child.split_at_rank(remaining);
+                        remaining = 0;
+                        left = Node::join_opt(left, l);
+                        right = Node::join_opt(right, r);
+                    }
+                }
+                (left, right)
+            }
+        }
+    }
+
+    /// Looks up `key`, returning a reference to its value.
+    pub fn get<'a>(&'a self, key: &K) -> Option<&'a V> {
+        match self {
+            Node::Leaf { key: k, val } => (k == key).then_some(val),
+            Node::Internal(int) => {
+                let child = int.children.iter().find(|c| key <= c.max_key())?;
+                child.get(key)
+            }
+        }
+    }
+
+    /// Looks up `key`, returning a mutable reference to its value.
+    pub fn get_mut<'a>(&'a mut self, key: &K) -> Option<&'a mut V> {
+        match self {
+            Node::Leaf { key: k, val } => (k == key).then_some(val),
+            Node::Internal(int) => {
+                let child = int.children.iter_mut().find(|c| key <= c.max_key())?;
+                child.get_mut(key)
+            }
+        }
+    }
+
+    /// The item with rank `idx` (0-based, in key order).
+    pub fn select(&self, idx: usize) -> Option<(&K, &V)> {
+        if idx >= self.size() {
+            return None;
+        }
+        match self {
+            Node::Leaf { key, val } => Some((key, val)),
+            Node::Internal(int) => {
+                let mut idx = idx;
+                for child in &int.children {
+                    if idx < child.size() {
+                        return child.select(idx);
+                    }
+                    idx -= child.size();
+                }
+                None
+            }
+        }
+    }
+
+    /// In-order traversal into `out`.
+    pub fn collect_into(self, out: &mut Vec<(K, V)>) {
+        match self {
+            Node::Leaf { key, val } => out.push((key, val)),
+            Node::Internal(int) => {
+                for child in int.children {
+                    child.collect_into(out);
+                }
+            }
+        }
+    }
+
+    /// In-order traversal by reference.
+    pub fn for_each<'a, F: FnMut(&'a K, &'a V)>(&'a self, f: &mut F) {
+        match self {
+            Node::Leaf { key, val } => f(key, val),
+            Node::Internal(int) => {
+                for child in &int.children {
+                    child.for_each(f);
+                }
+            }
+        }
+    }
+
+    /// Builds a balanced tree from sorted, deduplicated items in O(n).
+    pub fn from_sorted(items: Vec<(K, V)>) -> Option<Node<K, V>> {
+        if items.is_empty() {
+            return None;
+        }
+        let mut level: Vec<Node<K, V>> = items
+            .into_iter()
+            .map(|(k, v)| Node::leaf(k, v))
+            .collect();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len() / 2 + 1);
+            let mut iter = level.into_iter().peekable();
+            let mut pending: Vec<Node<K, V>> = Vec::with_capacity(3);
+            while let Some(node) = iter.next() {
+                pending.push(node);
+                let remaining_after = iter.len();
+                if pending.len() == 2 && remaining_after != 1 {
+                    next.push(Node::internal(std::mem::take(&mut pending)));
+                } else if pending.len() == 3 {
+                    next.push(Node::internal(std::mem::take(&mut pending)));
+                }
+            }
+            debug_assert!(pending.is_empty(), "grouping left a dangling child");
+            level = next;
+        }
+        level.pop()
+    }
+
+    /// Validates the structural invariants of the 2-3 tree (used by tests).
+    /// Returns the height.
+    pub fn check_invariants(&self) -> usize
+    where
+        K: std::fmt::Debug,
+    {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Internal(int) => {
+                assert!(
+                    (2..=3).contains(&int.children.len()),
+                    "internal node must have 2-3 children, has {}",
+                    int.children.len()
+                );
+                let heights: Vec<usize> =
+                    int.children.iter().map(|c| c.check_invariants()).collect();
+                assert!(
+                    heights.windows(2).all(|w| w[0] == w[1]),
+                    "children heights differ: {heights:?}"
+                );
+                assert_eq!(int.height, heights[0] + 1, "cached height wrong");
+                assert_eq!(
+                    int.size,
+                    int.children.iter().map(Node::size).sum::<usize>(),
+                    "cached size wrong"
+                );
+                assert_eq!(
+                    &int.max,
+                    int.children.last().unwrap().max_key(),
+                    "cached max wrong"
+                );
+                // Keys are ordered across children.
+                for w in int.children.windows(2) {
+                    assert!(
+                        w[0].max_key() <= w[1].max_key(),
+                        "child key ranges out of order"
+                    );
+                }
+                int.height
+            }
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! The key-map / recency-map pair that backs every segment of the working-set
+//! maps.
+//!
+//! In the paper (Sections 5 and 6.1) every segment stores its items in two
+//! balanced trees — one sorted by key and one sorted by recency — whose leaves
+//! are cross-linked by direct pointers so that a batch found in one map can be
+//! located in the other by reverse indexing.  [`RecencyMap`] realises the same
+//! interface by tagging every item with a monotone *recency stamp*: the
+//! key-map stores `key -> (stamp, value)` and the recency-map stores
+//! `stamp -> key`.  Smaller stamps are more recent ("closer to the front" of
+//! the segment).  See DESIGN.md substitution #3 for why this preserves the
+//! paper's cost bounds.
+
+use crate::tree::Tree23;
+
+/// Value entry of the key-map: the item's value plus its recency stamp.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry<V> {
+    /// Recency stamp; smaller means more recent (closer to the front).
+    pub stamp: i64,
+    /// The stored value.
+    pub val: V,
+}
+
+/// An ordered-by-key and ordered-by-recency map: the building block of every
+/// segment in M0, M1 and M2.
+///
+/// "Front" always means *most recent*; "back" means *least recent*.  Items
+/// taken from one `RecencyMap` and pushed to the front or back of another keep
+/// their relative recency order, which is what the segment cascade of the
+/// working-set maps requires.
+#[derive(Clone, Debug)]
+pub struct RecencyMap<K, V> {
+    key_map: Tree23<K, Entry<V>>,
+    rec_map: Tree23<i64, K>,
+    /// Next (unused) stamp for front insertion; strictly smaller than every
+    /// stamp in use.
+    front_next: i64,
+    /// Next (unused) stamp for back insertion; strictly larger than every
+    /// stamp in use.
+    back_next: i64,
+}
+
+impl<K: Ord + Clone, V: Clone> Default for RecencyMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> RecencyMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        RecencyMap {
+            key_map: Tree23::new(),
+            rec_map: Tree23::new(),
+            front_next: -1,
+            back_next: 0,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        debug_assert_eq!(self.key_map.len(), self.rec_map.len());
+        self.key_map.len()
+    }
+
+    /// True if the map holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.key_map.is_empty()
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.key_map.get(key).map(|e| &e.val)
+    }
+
+    /// Looks up a key, returning a mutable reference to its value.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.key_map.get_mut(key).map(|e| &mut e.val)
+    }
+
+    /// True if the key is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.key_map.contains(key)
+    }
+
+    /// Looks up a sorted batch of keys.
+    pub fn get_batch(&self, keys: &[K]) -> Vec<Option<&V>> {
+        self.key_map
+            .batch_get(keys)
+            .into_iter()
+            .map(|e| e.map(|e| &e.val))
+            .collect()
+    }
+
+    /// The recency rank of a key: 0 for the most recent item, `len - 1` for
+    /// the least recent.  `None` if absent.  (Linear scan of the recency map
+    /// is avoided by splitting at the item's stamp.)
+    pub fn recency_rank(&self, key: &K) -> Option<usize> {
+        let stamp = self.key_map.get(key)?.stamp;
+        // Count items with a strictly smaller stamp.
+        let mut rank = 0usize;
+        self.rec_map.for_each(|s, _| {
+            if *s < stamp {
+                rank += 1;
+            }
+        });
+        Some(rank)
+    }
+
+    fn next_front_stamps(&mut self, m: usize) -> std::ops::Range<i64> {
+        let m = m as i64;
+        let start = self.front_next - (m - 1);
+        self.front_next -= m;
+        start..(start + m)
+    }
+
+    fn next_back_stamps(&mut self, m: usize) -> std::ops::Range<i64> {
+        let m = m as i64;
+        let start = self.back_next;
+        self.back_next += m;
+        start..(start + m)
+    }
+
+    /// Inserts (or replaces) one item as the most recent.
+    pub fn insert_front(&mut self, key: K, val: V) -> Option<V> {
+        let prev = self.remove(&key);
+        let stamp = self.next_front_stamps(1).start;
+        self.rec_map.insert(stamp, key.clone());
+        self.key_map.insert(key, Entry { stamp, val });
+        prev
+    }
+
+    /// Inserts (or replaces) one item as the least recent.
+    pub fn insert_back(&mut self, key: K, val: V) -> Option<V> {
+        let prev = self.remove(&key);
+        let stamp = self.next_back_stamps(1).start;
+        self.rec_map.insert(stamp, key.clone());
+        self.key_map.insert(key, Entry { stamp, val });
+        prev
+    }
+
+    /// Inserts a batch of items at the front, preserving their given order
+    /// (`items[0]` ends up the most recent).  Keys may be in any order but
+    /// must be distinct and must not already be present (the working-set maps
+    /// always remove before re-inserting).
+    pub fn insert_front_batch(&mut self, items: Vec<(K, V)>) {
+        if items.is_empty() {
+            return;
+        }
+        debug_assert!(items.iter().all(|(k, _)| !self.contains(k)));
+        let stamps = self.next_front_stamps(items.len());
+        let mut rec_items: Vec<(i64, K)> = Vec::with_capacity(items.len());
+        let mut key_items: Vec<(K, Entry<V>)> = Vec::with_capacity(items.len());
+        for (stamp, (k, v)) in stamps.zip(items) {
+            rec_items.push((stamp, k.clone()));
+            key_items.push((k, Entry { stamp, val: v }));
+        }
+        // Recency stamps are already increasing; keys need sorting.
+        self.rec_map.batch_insert(rec_items);
+        key_items.sort_by(|a, b| a.0.cmp(&b.0));
+        self.key_map.batch_insert(key_items);
+    }
+
+    /// Inserts a batch of items at the back, preserving their given order
+    /// (`items[0]` is the most recent of the inserted group, i.e. closest to
+    /// the front).  Keys must be distinct and absent.
+    pub fn insert_back_batch(&mut self, items: Vec<(K, V)>) {
+        if items.is_empty() {
+            return;
+        }
+        debug_assert!(items.iter().all(|(k, _)| !self.contains(k)));
+        let stamps = self.next_back_stamps(items.len());
+        let mut rec_items: Vec<(i64, K)> = Vec::with_capacity(items.len());
+        let mut key_items: Vec<(K, Entry<V>)> = Vec::with_capacity(items.len());
+        for (stamp, (k, v)) in stamps.zip(items) {
+            rec_items.push((stamp, k.clone()));
+            key_items.push((k, Entry { stamp, val: v }));
+        }
+        self.rec_map.batch_insert(rec_items);
+        key_items.sort_by(|a, b| a.0.cmp(&b.0));
+        self.key_map.batch_insert(key_items);
+    }
+
+    /// Removes one key; returns its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let entry = self.key_map.remove(key)?;
+        let removed = self.rec_map.remove(&entry.stamp);
+        debug_assert!(removed.is_some(), "recency map out of sync");
+        Some(entry.val)
+    }
+
+    /// Removes a sorted batch of distinct keys; returns per key the removed
+    /// value (if it was present).
+    pub fn remove_batch(&mut self, keys: &[K]) -> Vec<Option<V>> {
+        let removed = self.key_map.batch_remove(keys);
+        let mut stamps: Vec<i64> = removed
+            .iter()
+            .flatten()
+            .map(|(_, e)| e.stamp)
+            .collect();
+        stamps.sort_unstable();
+        self.rec_map.batch_remove(&stamps);
+        removed
+            .into_iter()
+            .map(|r| r.map(|(_, e)| e.val))
+            .collect()
+    }
+
+    /// Removes and returns the `k` most recent items, most recent first.
+    pub fn pop_front(&mut self, k: usize) -> Vec<(K, V)> {
+        let taken = self.rec_map.take_front(k);
+        self.remove_taken(taken)
+    }
+
+    /// Removes and returns the `k` least recent items, *most recent of them
+    /// first* (so they can be re-inserted with [`RecencyMap::insert_front_batch`]
+    /// or [`RecencyMap::insert_back_batch`] preserving relative order).
+    pub fn pop_back(&mut self, k: usize) -> Vec<(K, V)> {
+        let taken = self.rec_map.take_back(k);
+        self.remove_taken(taken)
+    }
+
+    fn remove_taken(&mut self, taken: Vec<(i64, K)>) -> Vec<(K, V)> {
+        if taken.is_empty() {
+            return Vec::new();
+        }
+        let mut keys: Vec<K> = taken.iter().map(|(_, k)| k.clone()).collect();
+        keys.sort();
+        let removed = self.key_map.batch_remove(&keys);
+        // Map key -> value to restore recency order.
+        let mut by_key: std::collections::BTreeMap<K, V> = removed
+            .into_iter()
+            .flatten()
+            .map(|(k, e)| (k, e.val))
+            .collect();
+        taken
+            .into_iter()
+            .map(|(_, k)| {
+                let v = by_key.remove(&k).expect("key-map and recency-map in sync");
+                (k, v)
+            })
+            .collect()
+    }
+
+    /// The most recent item without removing it.
+    pub fn peek_front(&self) -> Option<(&K, &V)> {
+        let (_, key) = self.rec_map.first()?;
+        let entry = self.key_map.get(key)?;
+        Some((key, &entry.val))
+    }
+
+    /// The least recent item without removing it.
+    pub fn peek_back(&self) -> Option<(&K, &V)> {
+        let (_, key) = self.rec_map.last()?;
+        let entry = self.key_map.get(key)?;
+        Some((key, &entry.val))
+    }
+
+    /// All items in recency order (most recent first).  `O(n log n)`; intended
+    /// for tests, invariant checks and the cost-lemma simulations.
+    pub fn items_in_recency_order(&self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len());
+        self.rec_map.for_each(|_, key| {
+            let entry = self.key_map.get(key).expect("maps in sync");
+            out.push((key.clone(), entry.val.clone()));
+        });
+        out
+    }
+
+    /// All keys in key order.
+    pub fn keys_sorted(&self) -> Vec<K> {
+        self.key_map.keys()
+    }
+
+    /// Validates that the two internal trees are consistent.
+    pub fn check_invariants(&self)
+    where
+        K: std::fmt::Debug,
+    {
+        self.key_map.check_invariants();
+        self.rec_map.check_invariants();
+        assert_eq!(self.key_map.len(), self.rec_map.len());
+        self.rec_map.for_each(|stamp, key| {
+            let e = self
+                .key_map
+                .get(key)
+                .unwrap_or_else(|| panic!("key {key:?} in recency map but not key map"));
+            assert_eq!(e.stamp, *stamp, "stamp mismatch for key {key:?}");
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_map() {
+        let m: RecencyMap<u64, u64> = RecencyMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.peek_front(), None);
+        assert_eq!(m.peek_back(), None);
+    }
+
+    #[test]
+    fn front_and_back_insertion_order() {
+        let mut m = RecencyMap::new();
+        m.insert_back(1u64, "a");
+        m.insert_back(2, "b");
+        m.insert_front(3, "c");
+        m.insert_front(4, "d");
+        // Recency order (most recent first): 4, 3, 1, 2.
+        let order: Vec<u64> = m.items_in_recency_order().into_iter().map(|x| x.0).collect();
+        assert_eq!(order, vec![4, 3, 1, 2]);
+        assert_eq!(m.peek_front().map(|x| *x.0), Some(4));
+        assert_eq!(m.peek_back().map(|x| *x.0), Some(2));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn reinsert_moves_to_front() {
+        let mut m = RecencyMap::new();
+        for i in 0..5u64 {
+            m.insert_back(i, i);
+        }
+        assert_eq!(m.insert_front(3, 33), Some(3));
+        let order: Vec<u64> = m.items_in_recency_order().into_iter().map(|x| x.0).collect();
+        assert_eq!(order, vec![3, 0, 1, 2, 4]);
+        assert_eq!(m.get(&3), Some(&33));
+        assert_eq!(m.len(), 5);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn batch_front_insert_preserves_given_order() {
+        let mut m = RecencyMap::new();
+        m.insert_back(100u64, 0u64);
+        m.insert_front_batch(vec![(7, 7), (3, 3), (9, 9)]);
+        let order: Vec<u64> = m.items_in_recency_order().into_iter().map(|x| x.0).collect();
+        assert_eq!(order, vec![7, 3, 9, 100]);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn batch_back_insert_preserves_given_order() {
+        let mut m = RecencyMap::new();
+        m.insert_front(100u64, 0u64);
+        m.insert_back_batch(vec![(7, 7), (3, 3), (9, 9)]);
+        let order: Vec<u64> = m.items_in_recency_order().into_iter().map(|x| x.0).collect();
+        assert_eq!(order, vec![100, 7, 3, 9]);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn pop_front_and_back_return_recency_order() {
+        let mut m = RecencyMap::new();
+        for i in 0..10u64 {
+            m.insert_back(i, i * 10);
+        }
+        // Most recent = 0, least recent = 9.
+        let front = m.pop_front(3);
+        assert_eq!(front.iter().map(|x| x.0).collect::<Vec<_>>(), vec![0, 1, 2]);
+        let back = m.pop_back(3);
+        assert_eq!(back.iter().map(|x| x.0).collect::<Vec<_>>(), vec![7, 8, 9]);
+        assert_eq!(m.len(), 4);
+        m.check_invariants();
+
+        // Popping more than present drains the map.
+        let rest = m.pop_front(100);
+        assert_eq!(rest.len(), 4);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn pop_back_then_push_front_preserves_relative_order() {
+        // This mimics the segment-overflow cascade: the k least recent items
+        // of one segment become the k most recent of the next.
+        let mut a = RecencyMap::new();
+        for i in 0..6u64 {
+            a.insert_back(i, i);
+        }
+        let mut b = RecencyMap::new();
+        b.insert_back(100u64, 100u64);
+        let moved = a.pop_back(3); // items 3,4,5 in recency order
+        b.insert_front_batch(moved);
+        let order: Vec<u64> = b.items_in_recency_order().into_iter().map(|x| x.0).collect();
+        assert_eq!(order, vec![3, 4, 5, 100]);
+    }
+
+    #[test]
+    fn remove_batch_mixed() {
+        let mut m = RecencyMap::new();
+        for i in 0..10u64 {
+            m.insert_back(i, i);
+        }
+        let removed = m.remove_batch(&[2, 5, 11]);
+        assert_eq!(removed, vec![Some(2), Some(5), None]);
+        assert_eq!(m.len(), 8);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn recency_rank_counts_more_recent_items() {
+        let mut m = RecencyMap::new();
+        for i in 0..5u64 {
+            m.insert_back(i, i);
+        }
+        assert_eq!(m.recency_rank(&0), Some(0));
+        assert_eq!(m.recency_rank(&4), Some(4));
+        assert_eq!(m.recency_rank(&99), None);
+    }
+
+    #[test]
+    fn get_batch_matches_get() {
+        let mut m = RecencyMap::new();
+        for i in (0..20u64).step_by(2) {
+            m.insert_back(i, i);
+        }
+        let keys: Vec<u64> = (0..20).collect();
+        let got = m.get_batch(&keys);
+        for (k, g) in keys.iter().zip(got) {
+            assert_eq!(g, m.get(k));
+        }
+    }
+}

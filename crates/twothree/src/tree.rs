@@ -1,0 +1,334 @@
+//! The public [`Tree23`] wrapper: a leaf-based 2-3 tree with single-item and
+//! structural (split/join/rank) operations.  Batch operations live in
+//! [`crate::batch`].
+
+use crate::node::Node;
+
+/// A leaf-based 2-3 tree storing key-value items in key order.
+///
+/// `Tree23` is the balanced-search-tree substrate of every segment of the
+/// working-set maps (paper Appendix A.2).  It is an ordinary ordered map with
+/// the addition of the structural operations batch algorithms need: `join`
+/// with a disjoint greater tree, `split` by key or rank, and `take_front` /
+/// `take_back` by count.
+#[derive(Clone, Debug, Default)]
+pub struct Tree23<K, V> {
+    pub(crate) root: Option<Node<K, V>>,
+}
+
+impl<K: Ord + Clone, V> Tree23<K, V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Tree23 { root: None }
+    }
+
+    /// Builds a tree from items that are already sorted by key and contain no
+    /// duplicate keys, in `O(n)` work.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the items are not strictly sorted.
+    pub fn from_sorted(items: Vec<(K, V)>) -> Self {
+        debug_assert!(
+            items.windows(2).all(|w| w[0].0 < w[1].0),
+            "from_sorted requires strictly increasing keys"
+        );
+        Tree23 {
+            root: Node::from_sorted(items),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::size)
+    }
+
+    /// True if the tree holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Height of the tree (`0` for empty or single-leaf trees).
+    pub fn height(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::height)
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.root.as_ref().and_then(|r| r.get(key))
+    }
+
+    /// Looks up a key, returning a mutable reference to its value.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.root.as_mut().and_then(|r| r.get_mut(key))
+    }
+
+    /// True if the key is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// The item with rank `idx` (0-based, key order).
+    pub fn select(&self, idx: usize) -> Option<(&K, &V)> {
+        self.root.as_ref().and_then(|r| r.select(idx))
+    }
+
+    /// The smallest item.
+    pub fn first(&self) -> Option<(&K, &V)> {
+        self.select(0)
+    }
+
+    /// The largest item.
+    pub fn last(&self) -> Option<(&K, &V)> {
+        self.len().checked_sub(1).and_then(|i| self.select(i))
+    }
+
+    /// Inserts an item; returns the previous value for the key, if any.
+    pub fn insert(&mut self, key: K, val: V) -> Option<V> {
+        let root = self.root.take();
+        let (left, found, right) = match root {
+            None => (None, None, None),
+            Some(r) => r.split_at_key(&key),
+        };
+        let prev = found.map(|(_, v)| v);
+        let leaf = Node::leaf(key, val);
+        let joined = Node::join_opt(Node::join_opt(left, Some(leaf)), right);
+        self.root = joined;
+        prev
+    }
+
+    /// Removes a key; returns its value if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let root = self.root.take()?;
+        let (left, found, right) = root.split_at_key(key);
+        self.root = Node::join_opt(left, right);
+        found.map(|(_, v)| v)
+    }
+
+    /// Splits off everything with key `>= key` into a new tree, keeping the
+    /// rest (and returning the exact match separately, if present).
+    pub fn split_off(&mut self, key: &K) -> (Option<(K, V)>, Tree23<K, V>) {
+        let Some(root) = self.root.take() else {
+            return (None, Tree23::new());
+        };
+        let (left, found, right) = root.split_at_key(key);
+        self.root = left;
+        (found, Tree23 { root: right })
+    }
+
+    /// Splits the tree by rank: `self` keeps the first `rank` items, the rest
+    /// are returned.
+    pub fn split_at_rank(&mut self, rank: usize) -> Tree23<K, V> {
+        let Some(root) = self.root.take() else {
+            return Tree23::new();
+        };
+        let (left, right) = root.split_at_rank(rank);
+        self.root = left;
+        Tree23 { root: right }
+    }
+
+    /// Removes and returns the first (smallest) `k` items, in key order.
+    pub fn take_front(&mut self, k: usize) -> Vec<(K, V)> {
+        let k = k.min(self.len());
+        let rest = self.split_at_rank(k);
+        let front = std::mem::replace(self, rest);
+        front.into_sorted_vec()
+    }
+
+    /// Removes and returns the last (largest) `k` items, in key order.
+    pub fn take_back(&mut self, k: usize) -> Vec<(K, V)> {
+        let len = self.len();
+        let k = k.min(len);
+        let back = self.split_at_rank(len - k);
+        back.into_sorted_vec()
+    }
+
+    /// Concatenates `other` onto this tree.  Every key of `other` must be
+    /// strictly greater than every key of `self`.
+    pub fn join_greater(&mut self, other: Tree23<K, V>) {
+        debug_assert!(
+            self.is_empty()
+                || other.is_empty()
+                || self.root.as_ref().unwrap().max_key()
+                    < other.root.as_ref().unwrap().select(0).unwrap().0,
+            "join_greater key ranges overlap"
+        );
+        self.root = Node::join_opt(self.root.take(), other.root);
+    }
+
+    /// Consumes the tree into a sorted vector of items.
+    pub fn into_sorted_vec(self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len());
+        if let Some(root) = self.root {
+            root.collect_into(&mut out);
+        }
+        out
+    }
+
+    /// Calls `f` on every item in key order.
+    pub fn for_each<'a, F: FnMut(&'a K, &'a V)>(&'a self, mut f: F) {
+        if let Some(root) = &self.root {
+            root.for_each(&mut f);
+        }
+    }
+
+    /// Collects all keys in order (cloned).
+    pub fn keys(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each(|k, _| out.push(k.clone()));
+        out
+    }
+
+    /// Validates structural invariants; intended for tests and debug builds.
+    pub fn check_invariants(&self)
+    where
+        K: std::fmt::Debug,
+    {
+        if let Some(root) = &self.root {
+            root.check_invariants();
+            // Keys strictly increasing overall.
+            let mut prev: Option<&K> = None;
+            root.for_each(&mut |k, _| {
+                if let Some(p) = prev {
+                    assert!(p < k, "keys not strictly increasing");
+                }
+                prev = Some(k);
+            });
+        }
+    }
+}
+
+impl<K: Ord + Clone, V> FromIterator<(K, V)> for Tree23<K, V> {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        let mut items: Vec<(K, V)> = iter.into_iter().collect();
+        items.sort_by(|a, b| a.0.cmp(&b.0));
+        items.dedup_by(|a, b| a.0 == b.0);
+        Tree23::from_sorted(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree_basics() {
+        let t: Tree23<u64, u64> = Tree23::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.get(&3), None);
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = Tree23::new();
+        for i in 0..200u64 {
+            // 3 and 601 are coprime and i < 601, so keys are distinct.
+            assert_eq!(t.insert(i * 3 % 601, i), None);
+            t.check_invariants();
+        }
+        assert_eq!(t.len(), 200);
+        for i in 0..200u64 {
+            assert_eq!(t.get(&(i * 3 % 601)), Some(&i));
+        }
+        let mut t = Tree23::new();
+        assert_eq!(t.insert(5u64, 1u64), None);
+        assert_eq!(t.insert(5, 2), Some(1));
+        assert_eq!(t.remove(&5), Some(2));
+        assert_eq!(t.remove(&5), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn from_sorted_builds_balanced() {
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 100, 1000] {
+            let items: Vec<(u64, u64)> = (0..n as u64).map(|i| (i, i * 2)).collect();
+            let t = Tree23::from_sorted(items);
+            t.check_invariants();
+            assert_eq!(t.len(), n);
+            if n > 0 {
+                assert!(
+                    t.height() <= (n as f64).log2().ceil() as usize + 1,
+                    "height {} too large for n={}",
+                    t.height(),
+                    n
+                );
+                for i in 0..n as u64 {
+                    assert_eq!(t.get(&i), Some(&(i * 2)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn select_and_first_last() {
+        let t: Tree23<u64, ()> = (0..50u64).map(|i| (i * 2, ())).collect();
+        assert_eq!(t.select(0), Some((&0, &())));
+        assert_eq!(t.select(10), Some((&20, &())));
+        assert_eq!(t.select(49), Some((&98, &())));
+        assert_eq!(t.select(50), None);
+        assert_eq!(t.first(), Some((&0, &())));
+        assert_eq!(t.last(), Some((&98, &())));
+    }
+
+    #[test]
+    fn split_off_by_key() {
+        let mut t: Tree23<u64, u64> = (0..100u64).map(|i| (i, i)).collect();
+        let (found, right) = t.split_off(&60);
+        assert_eq!(found, Some((60, 60)));
+        assert_eq!(t.len(), 60);
+        assert_eq!(right.len(), 39);
+        t.check_invariants();
+        right.check_invariants();
+        assert!(t.keys().iter().all(|&k| k < 60));
+        assert!(right.keys().iter().all(|&k| k > 60));
+    }
+
+    #[test]
+    fn split_at_rank_and_take() {
+        let mut t: Tree23<u64, u64> = (0..100u64).map(|i| (i, i)).collect();
+        let right = t.split_at_rank(30);
+        assert_eq!(t.len(), 30);
+        assert_eq!(right.len(), 70);
+        t.check_invariants();
+        right.check_invariants();
+
+        let mut t: Tree23<u64, u64> = (0..10u64).map(|i| (i, i)).collect();
+        let front = t.take_front(3);
+        assert_eq!(front.iter().map(|x| x.0).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(t.len(), 7);
+        let back = t.take_back(2);
+        assert_eq!(back.iter().map(|x| x.0).collect::<Vec<_>>(), vec![8, 9]);
+        assert_eq!(t.len(), 5);
+        // Taking more than available is clamped.
+        let rest = t.take_front(100);
+        assert_eq!(rest.len(), 5);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn join_greater_concatenates() {
+        let mut a: Tree23<u64, ()> = (0..37u64).map(|i| (i, ())).collect();
+        let b: Tree23<u64, ()> = (100..153u64).map(|i| (i, ())).collect();
+        a.join_greater(b);
+        a.check_invariants();
+        assert_eq!(a.len(), 37 + 53);
+        assert!(a.contains(&0) && a.contains(&36) && a.contains(&100) && a.contains(&152));
+    }
+
+    #[test]
+    fn join_with_empty_sides() {
+        let mut a: Tree23<u64, ()> = Tree23::new();
+        a.join_greater((0..5u64).map(|i| (i, ())).collect());
+        assert_eq!(a.len(), 5);
+        a.join_greater(Tree23::new());
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn get_mut_updates_value() {
+        let mut t: Tree23<u64, u64> = (0..10u64).map(|i| (i, 0)).collect();
+        *t.get_mut(&7).unwrap() = 42;
+        assert_eq!(t.get(&7), Some(&42));
+    }
+}

@@ -1,0 +1,21 @@
+//! # wsm-workloads — workload generators and analysis
+//!
+//! The paper's evaluation is theoretical, so the reproduction validates each
+//! bound on synthetic workloads whose *distribution-sensitivity* is
+//! controllable:
+//!
+//! * [`generator`] — uniform, Zipfian, working-set (temporal locality),
+//!   adversarial (always touch the least recently used key), hot-set and
+//!   sequential-scan access patterns, plus mixed search/insert/delete streams.
+//! * [`analysis`] — access ranks, the working-set bound `W_L`, sequence
+//!   entropy and the cost of an optimal *static* search tree (for the static
+//!   optimality corollary of the working-set bound).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod generator;
+
+pub use analysis::{optimal_static_bst_cost, static_tree_cost_for, WorkloadReport};
+pub use generator::{Pattern, WorkloadSpec};

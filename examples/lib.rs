@@ -1,0 +1,4 @@
+//! Shared nothing: this crate exists to host the runnable examples
+//! (`cargo run --example quickstart`, `web_cache`, `graph_shortest_paths`,
+//! `text_index`) and the workspace-level integration/property tests that live
+//! in `../tests`.

@@ -1,0 +1,151 @@
+//! Property-based tests: M0, M1 and M2 behave exactly like a sequential map
+//! under arbitrary operation sequences, and their structural invariants hold
+//! after every batch.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use wsm_core::{BatchedMap, OpId, OpResult, Operation, TaggedOp, M1, M2};
+use wsm_seq::{InstrumentedMap, IaconoMap, SplayMap, M0};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Search(u8),
+    Insert(u8, u16),
+    Delete(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>()).prop_map(Op::Search),
+        (any::<u8>(), any::<u16>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (any::<u8>()).prop_map(Op::Delete),
+    ]
+}
+
+fn apply_model(model: &mut BTreeMap<u64, u64>, op: &Op) -> OpResult<u64> {
+    match op {
+        Op::Search(k) => OpResult::Search(model.get(&(*k as u64)).copied()),
+        Op::Insert(k, v) => OpResult::Insert(model.insert(*k as u64, *v as u64)),
+        Op::Delete(k) => OpResult::Delete(model.remove(&(*k as u64))),
+    }
+}
+
+fn to_operation(op: &Op) -> Operation<u64, u64> {
+    match op {
+        Op::Search(k) => Operation::Search(*k as u64),
+        Op::Insert(k, v) => Operation::Insert(*k as u64, *v as u64),
+        Op::Delete(k) => Operation::Delete(*k as u64),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sequential_structures_match_model(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let mut model = BTreeMap::new();
+        let mut m0: M0<u64, u64> = M0::new();
+        let mut iacono: IaconoMap<u64, u64> = IaconoMap::new();
+        let mut splay: SplayMap<u64, u64> = SplayMap::new();
+        for op in &ops {
+            let expected = apply_model(&mut model, op);
+            let expected_val = expected.value().copied();
+            let (got_m0, _) = match op {
+                Op::Search(k) => m0.search(&(*k as u64)),
+                Op::Insert(k, v) => m0.insert(*k as u64, *v as u64),
+                Op::Delete(k) => m0.remove(&(*k as u64)),
+            };
+            let (got_ia, _) = match op {
+                Op::Search(k) => iacono.search(&(*k as u64)),
+                Op::Insert(k, v) => iacono.insert(*k as u64, *v as u64),
+                Op::Delete(k) => iacono.remove(&(*k as u64)),
+            };
+            let (got_sp, _) = match op {
+                Op::Search(k) => splay.search(&(*k as u64)),
+                Op::Insert(k, v) => splay.insert(*k as u64, *v as u64),
+                Op::Delete(k) => splay.remove(&(*k as u64)),
+            };
+            prop_assert_eq!(got_m0, expected_val);
+            prop_assert_eq!(got_ia, expected_val);
+            prop_assert_eq!(got_sp, expected_val);
+            prop_assert_eq!(m0.len(), model.len());
+            prop_assert_eq!(iacono.len(), model.len());
+            prop_assert_eq!(splay.len(), model.len());
+        }
+        m0.check_invariants();
+        iacono.check_invariants();
+        splay.check_invariants();
+    }
+
+    #[test]
+    fn m1_matches_model_under_arbitrary_batching(
+        ops in prop::collection::vec(op_strategy(), 1..300),
+        batch_size in 1usize..40,
+        p in 2usize..9,
+    ) {
+        let mut model = BTreeMap::new();
+        let mut m1 = M1::new(p);
+        let mut next_id: OpId = 0;
+        for chunk in ops.chunks(batch_size) {
+            let expected: Vec<OpResult<u64>> = chunk.iter().map(|op| apply_model(&mut model, op)).collect();
+            let base = next_id;
+            let batch: Vec<TaggedOp<u64, u64>> = chunk.iter().map(|op| {
+                let t = TaggedOp { id: next_id, op: to_operation(op) };
+                next_id += 1;
+                t
+            }).collect();
+            let (results, _) = m1.run_batch(batch);
+            let by_id: BTreeMap<OpId, OpResult<u64>> = results.into_iter().collect();
+            for (i, exp) in expected.iter().enumerate() {
+                prop_assert_eq!(&by_id[&(base + i as u64)], exp);
+            }
+            m1.check_invariants();
+            prop_assert_eq!(m1.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn m2_matches_model_under_arbitrary_batching(
+        ops in prop::collection::vec(op_strategy(), 1..300),
+        batch_size in 1usize..40,
+        p in 2usize..9,
+    ) {
+        let mut model = BTreeMap::new();
+        let mut m2 = M2::new(p);
+        let mut next_id: OpId = 0;
+        for chunk in ops.chunks(batch_size) {
+            let expected: Vec<OpResult<u64>> = chunk.iter().map(|op| apply_model(&mut model, op)).collect();
+            let base = next_id;
+            let batch: Vec<TaggedOp<u64, u64>> = chunk.iter().map(|op| {
+                let t = TaggedOp { id: next_id, op: to_operation(op) };
+                next_id += 1;
+                t
+            }).collect();
+            let (results, _) = m2.run_batch(batch);
+            let by_id: BTreeMap<OpId, OpResult<u64>> = results.into_iter().collect();
+            for (i, exp) in expected.iter().enumerate() {
+                prop_assert_eq!(&by_id[&(base + i as u64)], exp);
+            }
+            m2.check_invariants();
+            prop_assert_eq!(m2.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn work_never_decreases_and_size_is_bounded(
+        ops in prop::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut m1 = M1::new(4);
+        let mut last_work = 0;
+        let mut distinct = std::collections::BTreeSet::new();
+        for (i, op) in ops.iter().enumerate() {
+            if let Op::Insert(k, _) = op { distinct.insert(*k); }
+            let batch = vec![TaggedOp { id: i as OpId, op: to_operation(op) }];
+            m1.run_batch(batch);
+            let work = m1.effective_work();
+            prop_assert!(work >= last_work, "effective work must be monotone");
+            last_work = work;
+            prop_assert!(m1.len() <= distinct.len(), "size cannot exceed distinct inserted keys");
+        }
+    }
+}
