@@ -16,7 +16,13 @@ fn bench_sequential(c: &mut Criterion) {
     let keyspace = 1u64 << 12;
     let operations = 1usize << 13;
     for (name, pattern) in [
-        ("hotset", Pattern::HotSet { hot: 8, miss_rate: 0.02 }),
+        (
+            "hotset",
+            Pattern::HotSet {
+                hot: 8,
+                miss_rate: 0.02,
+            },
+        ),
         ("zipf1", Pattern::Zipf(1.0)),
         ("uniform", Pattern::Uniform),
     ] {

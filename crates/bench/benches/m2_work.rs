@@ -16,17 +16,21 @@ fn bench_m2(c: &mut Criterion) {
     let keyspace = 1u64 << 12;
     let operations = 1usize << 13;
     for (name, pattern) in [
-        ("hotset", Pattern::HotSet { hot: 8, miss_rate: 0.02 }),
+        (
+            "hotset",
+            Pattern::HotSet {
+                hot: 8,
+                miss_rate: 0.02,
+            },
+        ),
         ("zipf1", Pattern::Zipf(1.0)),
         ("uniform", Pattern::Uniform),
     ] {
         let ops = WorkloadSpec::read_only(keyspace, operations, pattern, 2).full_sequence();
         for p in [4usize, 16] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("p{p}"), name),
-                &ops,
-                |b, ops| b.iter(|| run_batched(&mut M2::new(p), ops, p * p)),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("p{p}"), name), &ops, |b, ops| {
+                b.iter(|| run_batched(&mut M2::new(p), ops, p * p))
+            });
         }
     }
     group.finish();

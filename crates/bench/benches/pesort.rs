@@ -30,9 +30,11 @@ fn bench_pesort(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("pesort", name), &items, |b, items| {
             b.iter(|| pesort(items.clone()))
         });
-        group.bench_with_input(BenchmarkId::new("pesort_group", name), &items, |b, items| {
-            b.iter(|| pesort_group(items))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pesort_group", name),
+            &items,
+            |b, items| b.iter(|| pesort_group(items)),
+        );
         group.bench_with_input(BenchmarkId::new("std_sort", name), &items, |b, items| {
             b.iter(|| {
                 let mut v = items.clone();

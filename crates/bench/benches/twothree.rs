@@ -33,15 +33,19 @@ fn bench_twothree(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(BenchmarkId::new("btreemap_insert", n), &items, |b, items| {
-            b.iter(|| {
-                let mut t: BTreeMap<u64, u64> = BTreeMap::new();
-                for (k, v) in items.clone() {
-                    t.insert(k, v);
-                }
-                t
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("btreemap_insert", n),
+            &items,
+            |b, items| {
+                b.iter(|| {
+                    let mut t: BTreeMap<u64, u64> = BTreeMap::new();
+                    for (k, v) in items.clone() {
+                        t.insert(k, v);
+                    }
+                    t
+                })
+            },
+        );
         let tree: Tree23<u64, u64> = items.iter().cloned().collect();
         group.bench_with_input(BenchmarkId::new("batch_get", n), &probe, |b, probe| {
             b.iter(|| tree.batch_get(probe))

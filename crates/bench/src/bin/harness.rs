@@ -97,7 +97,10 @@ fn main() {
     if run("e14") {
         bench::print_table(
             "E14: runtime invariant checks (Lemma 16 style)",
-            &bench::experiment_invariants(sizes.keyspace.min(1 << 12), sizes.operations.min(1 << 14)),
+            &bench::experiment_invariants(
+                sizes.keyspace.min(1 << 12),
+                sizes.operations.min(1 << 14),
+            ),
         );
     }
 }

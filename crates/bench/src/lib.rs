@@ -113,18 +113,33 @@ pub fn run_batched<M: BatchedMap<u64, u64>>(
 }
 
 /// The standard workload suite used by several experiments.
-pub fn standard_suite(keyspace: u64, operations: usize, seed: u64) -> Vec<(&'static str, WorkloadSpec)> {
+pub fn standard_suite(
+    keyspace: u64,
+    operations: usize,
+    seed: u64,
+) -> Vec<(&'static str, WorkloadSpec)> {
     vec![
         (
             "hot-set (8 keys, 2% miss)",
-            WorkloadSpec::read_only(keyspace, operations, Pattern::HotSet { hot: 8, miss_rate: 0.02 }, seed),
+            WorkloadSpec::read_only(
+                keyspace,
+                operations,
+                Pattern::HotSet {
+                    hot: 8,
+                    miss_rate: 0.02,
+                },
+                seed,
+            ),
         ),
         (
             "working-set (w=64, 10% miss)",
             WorkloadSpec::read_only(
                 keyspace,
                 operations,
-                Pattern::WorkingSet { window: 64, miss_rate: 0.1 },
+                Pattern::WorkingSet {
+                    window: 64,
+                    miss_rate: 0.1,
+                },
                 seed,
             ),
         ),
@@ -289,7 +304,12 @@ pub fn experiment_sorting(n: usize) -> Vec<Row> {
     let inputs: Vec<(&str, Vec<u64>)> = vec![
         ("constant", vec![7; n]),
         ("two values", (0..n).map(|i| (i % 2) as u64).collect()),
-        ("16 values skewed", (0..n).map(|_| if next() % 10 < 9 { 0 } else { next() % 16 }).collect()),
+        (
+            "16 values skewed",
+            (0..n)
+                .map(|_| if next() % 10 < 9 { 0 } else { next() % 16 })
+                .collect(),
+        ),
         ("256 values", (0..n).map(|_| next() % 256).collect()),
         ("uniform", (0..n).map(|_| next()).collect()),
     ];
@@ -389,7 +409,8 @@ pub fn experiment_pipelining(keyspace: u64, p: usize) -> Vec<Row> {
     let before = m2.latencies().len();
     run_batched(&mut m2, &mixed, p * p);
     let records = &m2.latencies()[before..];
-    let avg_m2 = records.iter().map(|l| l.latency()).sum::<u64>() as f64 / records.len().max(1) as f64;
+    let avg_m2 =
+        records.iter().map(|l| l.latency()).sum::<u64>() as f64 / records.len().max(1) as f64;
 
     // M1: every operation in a batch waits for the whole batch, so the cheap
     // operations inherit the cold operations' span.
@@ -474,7 +495,10 @@ mod tests {
             .find(|(k, _)| k == "naive/combined")
             .unwrap()
             .1;
-        assert!(ratio > 1.5, "naive execution should be clearly worse, got {ratio}");
+        assert!(
+            ratio > 1.5,
+            "naive execution should be clearly worse, got {ratio}"
+        );
     }
 
     #[test]

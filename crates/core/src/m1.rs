@@ -130,6 +130,7 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
 
     /// Processes one cut batch if any operations are pending.  Returns the
     /// results of the operations that completed in this batch.
+    #[allow(clippy::type_complexity)]
     pub fn process_next_batch(&mut self) -> Option<(Vec<(OpId, OpResult<V>)>, Cost)> {
         if !self.staged.is_empty() {
             let staged = std::mem::take(&mut self.staged);
@@ -163,7 +164,10 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
 
     /// The core of Section 6.1: sort + combine, pass through the segments,
     /// then append net insertions.
-    fn process_cut_batch(&mut self, batch: Vec<TaggedOp<K, V>>) -> (Vec<(OpId, OpResult<V>)>, Cost) {
+    fn process_cut_batch(
+        &mut self,
+        batch: Vec<TaggedOp<K, V>>,
+    ) -> (Vec<(OpId, OpResult<V>)>, Cost) {
         let b = batch.len();
         if b == 0 {
             return (Vec::new(), Cost::ZERO);
@@ -242,7 +246,9 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
 
     /// Total capacity of segments `S[0..i-1]` (saturating).
     fn prefix_capacity(i: usize) -> u64 {
-        (0..i).fold(0u64, |acc, j| acc.saturating_add(segment_capacity(j as u32)))
+        (0..i).fold(0u64, |acc, j| {
+            acc.saturating_add(segment_capacity(j as u32))
+        })
     }
 
     /// Total size of segments `S[0..i-1]`.
@@ -454,7 +460,8 @@ mod tests {
         m.run_ops((0..100u64).map(|i| insert(i, i)).collect());
         m.check_invariants();
         // A batch of many searches for the same key plus one insert-after.
-        let ops: Vec<Operation<u64, u64>> = (0..50).map(|_| search(7)).chain([insert(7, 700)]).collect();
+        let ops: Vec<Operation<u64, u64>> =
+            (0..50).map(|_| search(7)).chain([insert(7, 700)]).collect();
         let results = m.run_ops(ops);
         assert!(results[..50]
             .iter()
@@ -595,7 +602,10 @@ mod tests {
             max_batch <= bound,
             "cut batch of {max_batch} exceeds p^2 * ceil(log n / p) = {bound}"
         );
-        assert!(m.batch_log().len() > 10, "large input must span many cut batches");
+        assert!(
+            m.batch_log().len() > 10,
+            "large input must span many cut batches"
+        );
     }
 
     #[test]

@@ -192,12 +192,10 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
         self.activate(Target::Interface);
     }
 
-    /// Number of operations not yet resolved.
+    /// Number of operations not yet resolved (buffered, staged, or waiting in
+    /// the filter; already-resolved results awaiting pickup do not count).
     pub fn pending(&self) -> usize {
-        self.feed.len()
-            + self.staged.len()
-            + self.filter_pending_ops()
-            + self.results.capacity().min(0)
+        self.feed.len() + self.staged.len() + self.filter_pending_ops()
     }
 
     fn filter_pending_ops(&self) -> usize {
@@ -544,10 +542,7 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
         // Step 4d: shift accessed / newly inserted items to the front of
         // S[m'].
         if !front_inserts.is_empty() {
-            cost += tcost::batch_op(
-                front_inserts.len() as u64,
-                self.segments[dest].len() as u64,
-            );
+            cost += tcost::batch_op(front_inserts.len() as u64, self.segments[dest].len() as u64);
             self.segments[dest].insert_front_batch(front_inserts);
         }
 
@@ -589,11 +584,7 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
         if self.interface_ready() {
             self.activate(Target::Interface);
         }
-        if self
-            .buffers
-            .get(buf_idx)
-            .is_some_and(|b| !b.is_empty())
-        {
+        if self.buffers.get(buf_idx).is_some_and(|b| !b.is_empty()) {
             self.activate(Target::Segment(k));
         }
     }
@@ -631,7 +622,9 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
     // ------------------------------------------------------------------
 
     fn prefix_capacity(i: usize) -> u64 {
-        (0..i).fold(0u64, |acc, j| acc.saturating_add(segment_capacity(j as u32)))
+        (0..i).fold(0u64, |acc, j| {
+            acc.saturating_add(segment_capacity(j as u32))
+        })
     }
 
     fn prefix_size(&self, i: usize) -> u64 {
@@ -703,7 +696,8 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
                 self.buffer_ready.pop();
             }
         }
-        while matches!(self.segments.last(), Some(s) if s.is_empty()) && self.segments.len() <= self.m
+        while matches!(self.segments.last(), Some(s) if s.is_empty())
+            && self.segments.len() <= self.m
         {
             self.segments.pop();
         }

@@ -15,7 +15,9 @@ use serde::{Deserialize, Serialize};
 /// (parallel).  `Cost` is a commutative monoid under `par` and a (non
 /// commutative in general, but here commutative because both fields are
 /// symmetric) monoid under `then`, with [`Cost::ZERO`] as identity for both.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct Cost {
     /// Total number of unit operations.
     pub work: u64,

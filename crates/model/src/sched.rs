@@ -162,8 +162,8 @@ impl TaskGraph {
                 Priority::Normal => normal.push_back(i),
             }
         };
-        for i in 0..n {
-            if preds_left[i] == 0 {
+        for (i, &left) in preds_left.iter().enumerate() {
+            if left == 0 {
                 push_ready(i, &mut high, &mut normal);
             }
         }

@@ -101,7 +101,7 @@ pub fn access_ranks<K: Ord + Clone>(ops: &[MapOpKind<K>]) -> Vec<u64> {
                 if present.contains_key(key) {
                     let since = mark.get(key).copied();
                     let distinct_between = match since {
-                        Some(j) if j + 1 <= i.saturating_sub(1) => bit.range(j + 1, i - 1),
+                        Some(j) if j < i.saturating_sub(1) => bit.range(j + 1, i - 1),
                         _ => 0,
                     };
                     ranks.push(distinct_between as u64 + 1);

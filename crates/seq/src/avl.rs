@@ -36,7 +36,7 @@ fn update<K, V>(n: &mut Box<Node<K, V>>) {
     n.height = 1 + height(&n.left).max(height(&n.right));
 }
 
-fn balance_factor<K, V>(n: &Box<Node<K, V>>) -> i32 {
+fn balance_factor<K, V>(n: &Node<K, V>) -> i32 {
     height(&n.left) - height(&n.right)
 }
 
@@ -113,7 +113,9 @@ fn insert_node<K: Ord, V>(
     }
 }
 
-fn take_min<K, V>(mut n: Box<Node<K, V>>, steps: &mut u64) -> (Option<Box<Node<K, V>>>, Box<Node<K, V>>) {
+type TakeMinOut<K, V> = (Option<Box<Node<K, V>>>, Box<Node<K, V>>);
+
+fn take_min<K, V>(mut n: Box<Node<K, V>>, steps: &mut u64) -> TakeMinOut<K, V> {
     *steps += 1;
     match n.left.take() {
         None => {

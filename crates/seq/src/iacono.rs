@@ -122,11 +122,7 @@ impl<K: Ord + Clone, V: Clone> IaconoMap<K, V> {
     pub fn insert_item(&mut self, key: K, val: V) -> (Option<V>, Cost) {
         if self.peek(&key).is_some() {
             let (old, mut cost) = self.access(&key);
-            if let Some(slot) = self
-                .trees
-                .iter_mut()
-                .find_map(|t| t.get_mut(&key))
-            {
+            if let Some(slot) = self.trees.iter_mut().find_map(|t| t.get_mut(&key)) {
                 *slot = val;
             }
             cost += Cost::UNIT;

@@ -342,7 +342,10 @@ mod tests {
         let (res, cost) = m.access(&(1 << 20));
         assert_eq!(res, None);
         // Must be O(log n): generously under 40 * log2(n).
-        assert!(cost.work < 40 * 12, "unsuccessful search too expensive: {cost}");
+        assert!(
+            cost.work < 40 * 12,
+            "unsuccessful search too expensive: {cost}"
+        );
     }
 
     #[test]

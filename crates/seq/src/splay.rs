@@ -30,14 +30,20 @@ pub struct SplayMap<K, V> {
 }
 
 fn rotate_right<K, V>(mut node: Box<Node<K, V>>) -> Box<Node<K, V>> {
-    let mut l = node.left.take().expect("rotate_right requires a left child");
+    let mut l = node
+        .left
+        .take()
+        .expect("rotate_right requires a left child");
     node.left = l.right.take();
     l.right = Some(node);
     l
 }
 
 fn rotate_left<K, V>(mut node: Box<Node<K, V>>) -> Box<Node<K, V>> {
-    let mut r = node.right.take().expect("rotate_left requires a right child");
+    let mut r = node
+        .right
+        .take()
+        .expect("rotate_left requires a right child");
     node.right = r.left.take();
     r.left = Some(node);
     r
@@ -184,7 +190,6 @@ impl<K: Ord + Clone, V: Clone> SplayMap<K, V> {
         };
         let mut steps = 0;
         let mut root = splay(root, &key, &mut steps);
-        let cost;
         let prev;
         match key.cmp(&root.key) {
             Ordering::Equal => {
@@ -218,7 +223,7 @@ impl<K: Ord + Clone, V: Clone> SplayMap<K, V> {
                 prev = None;
             }
         }
-        cost = Cost::serial(steps.max(1) + 1);
+        let cost = Cost::serial(steps.max(1) + 1);
         self.total += cost;
         (prev, cost)
     }
@@ -376,7 +381,10 @@ mod tests {
         // First access may be deep, repeated accesses are O(1)-ish.
         m.access(&2000);
         let (_, second) = m.access(&2000);
-        assert!(second.work <= 3, "repeated access should touch the root: {second}");
+        assert!(
+            second.work <= 3,
+            "repeated access should touch the root: {second}"
+        );
     }
 
     #[test]

@@ -75,7 +75,10 @@ where
 {
     let k = items.len() as u64;
     items.sort_by(cmp);
-    (items, Cost::serial(k * (u64::from(ceil_log2(k.max(1))) + 1)))
+    (
+        items,
+        Cost::serial(k * (u64::from(ceil_log2(k.max(1))) + 1)),
+    )
 }
 
 fn pesort_rec<T, F>(items: Vec<T>, cmp: &F) -> (Vec<T>, Cost)
@@ -169,9 +172,7 @@ mod tests {
         // Sort pairs by first component only; second component records arrival
         // order and must remain ascending within each key.
         let mut state = 9;
-        let items: Vec<(u64, usize)> = (0..4000)
-            .map(|i| (xorshift(&mut state) % 16, i))
-            .collect();
+        let items: Vec<(u64, usize)> = (0..4000).map(|i| (xorshift(&mut state) % 16, i)).collect();
         let (sorted, _) = pesort_by(items, &|a: &(u64, usize), b: &(u64, usize)| a.0.cmp(&b.0));
         for w in sorted.windows(2) {
             assert!(w[0].0 <= w[1].0);
@@ -188,7 +189,13 @@ mod tests {
         let n = 20_000usize;
         let mut state = 77;
         let low: Vec<u64> = (0..n)
-            .map(|_| if xorshift(&mut state) % 100 < 95 { 0 } else { xorshift(&mut state) % 4 })
+            .map(|_| {
+                if xorshift(&mut state) % 100 < 95 {
+                    0
+                } else {
+                    xorshift(&mut state) % 4
+                }
+            })
             .collect();
         let high: Vec<u64> = (0..n).map(|_| xorshift(&mut state)).collect();
         let (_, low_cost) = pesort(low.clone());

@@ -135,7 +135,10 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), threads * iters);
+        assert_eq!(
+            counter.load(std::sync::atomic::Ordering::Relaxed),
+            threads * iters
+        );
         assert_eq!(*shared.lock().unwrap(), threads * iters);
     }
 }

@@ -60,7 +60,10 @@ mod tests {
         let n = 1 << 16;
         let c1 = batch_op(10, n);
         let c2 = batch_op(1000, n);
-        assert!(c2.work > 90 * c1.work / 10 * 9 / 10, "work should be ~linear in b");
+        assert!(
+            c2.work > 90 * c1.work / 10 * 9 / 10,
+            "work should be ~linear in b"
+        );
         // Span grows only logarithmically with b.
         assert!(c2.span <= c1.span + 10);
     }

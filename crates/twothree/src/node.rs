@@ -53,9 +53,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
     /// Builds an internal node from 2–3 children of equal height.
     pub fn internal(children: Vec<Node<K, V>>) -> Self {
         debug_assert!((2..=3).contains(&children.len()));
-        debug_assert!(children
-            .windows(2)
-            .all(|w| w[0].height() == w[1].height()));
+        debug_assert!(children.windows(2).all(|w| w[0].height() == w[1].height()));
         let height = children[0].height() + 1;
         let size = children.iter().map(Node::size).sum();
         let max = children.last().expect("non-empty").max_key().clone();
@@ -156,10 +154,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
     /// exact match is returned separately, everything with key `> key` goes
     /// right.
     #[allow(clippy::type_complexity)]
-    pub fn split_at_key(
-        self,
-        key: &K,
-    ) -> (Option<Node<K, V>>, Option<(K, V)>, Option<Node<K, V>>) {
+    pub fn split_at_key(self, key: &K) -> (Option<Node<K, V>>, Option<(K, V)>, Option<Node<K, V>>) {
         match self {
             Node::Leaf { key: k, val } => match key.cmp(&k) {
                 std::cmp::Ordering::Equal => (None, Some((k, val)), None),
@@ -196,6 +191,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
 
     /// Splits the tree by rank: the first `rank` items (in key order) go left,
     /// the rest go right.
+    #[allow(clippy::type_complexity)]
     pub fn split_at_rank(self, rank: usize) -> (Option<Node<K, V>>, Option<Node<K, V>>) {
         if rank == 0 {
             return (None, Some(self));
@@ -298,10 +294,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
         if items.is_empty() {
             return None;
         }
-        let mut level: Vec<Node<K, V>> = items
-            .into_iter()
-            .map(|(k, v)| Node::leaf(k, v))
-            .collect();
+        let mut level: Vec<Node<K, V>> = items.into_iter().map(|(k, v)| Node::leaf(k, v)).collect();
         while level.len() > 1 {
             let mut next = Vec::with_capacity(level.len() / 2 + 1);
             let mut iter = level.into_iter().peekable();
@@ -309,9 +302,10 @@ impl<K: Ord + Clone, V> Node<K, V> {
             while let Some(node) = iter.next() {
                 pending.push(node);
                 let remaining_after = iter.len();
-                if pending.len() == 2 && remaining_after != 1 {
-                    next.push(Node::internal(std::mem::take(&mut pending)));
-                } else if pending.len() == 3 {
+                // Flush groups of 2, unless exactly one node would be left
+                // over (then hold out for a group of 3, keeping 2-3 children
+                // everywhere).
+                if (pending.len() == 2 && remaining_after != 1) || pending.len() == 3 {
                     next.push(Node::internal(std::mem::take(&mut pending)));
                 }
             }

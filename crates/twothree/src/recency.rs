@@ -194,17 +194,10 @@ impl<K: Ord + Clone, V: Clone> RecencyMap<K, V> {
     /// value (if it was present).
     pub fn remove_batch(&mut self, keys: &[K]) -> Vec<Option<V>> {
         let removed = self.key_map.batch_remove(keys);
-        let mut stamps: Vec<i64> = removed
-            .iter()
-            .flatten()
-            .map(|(_, e)| e.stamp)
-            .collect();
+        let mut stamps: Vec<i64> = removed.iter().flatten().map(|(_, e)| e.stamp).collect();
         stamps.sort_unstable();
         self.rec_map.batch_remove(&stamps);
-        removed
-            .into_iter()
-            .map(|r| r.map(|(_, e)| e.val))
-            .collect()
+        removed.into_iter().map(|r| r.map(|(_, e)| e.val)).collect()
     }
 
     /// Removes and returns the `k` most recent items, most recent first.
@@ -312,7 +305,11 @@ mod tests {
         m.insert_front(3, "c");
         m.insert_front(4, "d");
         // Recency order (most recent first): 4, 3, 1, 2.
-        let order: Vec<u64> = m.items_in_recency_order().into_iter().map(|x| x.0).collect();
+        let order: Vec<u64> = m
+            .items_in_recency_order()
+            .into_iter()
+            .map(|x| x.0)
+            .collect();
         assert_eq!(order, vec![4, 3, 1, 2]);
         assert_eq!(m.peek_front().map(|x| *x.0), Some(4));
         assert_eq!(m.peek_back().map(|x| *x.0), Some(2));
@@ -326,7 +323,11 @@ mod tests {
             m.insert_back(i, i);
         }
         assert_eq!(m.insert_front(3, 33), Some(3));
-        let order: Vec<u64> = m.items_in_recency_order().into_iter().map(|x| x.0).collect();
+        let order: Vec<u64> = m
+            .items_in_recency_order()
+            .into_iter()
+            .map(|x| x.0)
+            .collect();
         assert_eq!(order, vec![3, 0, 1, 2, 4]);
         assert_eq!(m.get(&3), Some(&33));
         assert_eq!(m.len(), 5);
@@ -338,7 +339,11 @@ mod tests {
         let mut m = RecencyMap::new();
         m.insert_back(100u64, 0u64);
         m.insert_front_batch(vec![(7, 7), (3, 3), (9, 9)]);
-        let order: Vec<u64> = m.items_in_recency_order().into_iter().map(|x| x.0).collect();
+        let order: Vec<u64> = m
+            .items_in_recency_order()
+            .into_iter()
+            .map(|x| x.0)
+            .collect();
         assert_eq!(order, vec![7, 3, 9, 100]);
         m.check_invariants();
     }
@@ -348,7 +353,11 @@ mod tests {
         let mut m = RecencyMap::new();
         m.insert_front(100u64, 0u64);
         m.insert_back_batch(vec![(7, 7), (3, 3), (9, 9)]);
-        let order: Vec<u64> = m.items_in_recency_order().into_iter().map(|x| x.0).collect();
+        let order: Vec<u64> = m
+            .items_in_recency_order()
+            .into_iter()
+            .map(|x| x.0)
+            .collect();
         assert_eq!(order, vec![100, 7, 3, 9]);
         m.check_invariants();
     }
@@ -385,7 +394,11 @@ mod tests {
         b.insert_back(100u64, 100u64);
         let moved = a.pop_back(3); // items 3,4,5 in recency order
         b.insert_front_batch(moved);
-        let order: Vec<u64> = b.items_in_recency_order().into_iter().map(|x| x.0).collect();
+        let order: Vec<u64> = b
+            .items_in_recency_order()
+            .into_iter()
+            .map(|x| x.0)
+            .collect();
         assert_eq!(order, vec![3, 4, 5, 100]);
     }
 

@@ -173,10 +173,7 @@ impl ZipfSampler {
         ZipfSampler { cdf: weights }
     }
 
-    fn sample<R: Rng>(&self, rng: &mut R) -> u64
-    where
-        R: RngExt,
-    {
+    fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
         let u: f64 = rng.random_range(0.0..1.0);
         match self
             .cdf
@@ -236,11 +233,20 @@ mod tests {
     fn working_set_bounds_are_ordered_by_locality() {
         // Hot-set locality must have a far smaller W_L than uniform, which in
         // turn is no larger than the adversarial pattern.
-        let hot = working_set_bound(&spec(Pattern::HotSet { hot: 8, miss_rate: 0.02 }).full_sequence());
+        let hot = working_set_bound(
+            &spec(Pattern::HotSet {
+                hot: 8,
+                miss_rate: 0.02,
+            })
+            .full_sequence(),
+        );
         let uniform = working_set_bound(&spec(Pattern::Uniform).full_sequence());
         let adversarial = working_set_bound(&spec(Pattern::Adversarial).full_sequence());
         assert!(hot * 2 < uniform, "hot={hot} uniform={uniform}");
-        assert!(uniform <= adversarial + adversarial / 4, "uniform={uniform} adv={adversarial}");
+        assert!(
+            uniform <= adversarial + adversarial / 4,
+            "uniform={uniform} adv={adversarial}"
+        );
     }
 
     #[test]
@@ -258,7 +264,10 @@ mod tests {
         let mut s = spec(Pattern::Uniform);
         s.update_fraction = 0.5;
         let ops = s.access_phase();
-        let searches = ops.iter().filter(|o| matches!(o, MapOpKind::Search(_))).count();
+        let searches = ops
+            .iter()
+            .filter(|o| matches!(o, MapOpKind::Search(_)))
+            .count();
         let updates = ops.len() - searches;
         assert!(updates > ops.len() / 3);
         assert!(searches > ops.len() / 3);

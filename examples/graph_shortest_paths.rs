@@ -101,8 +101,10 @@ fn main() {
                 candidates.push((v, du.saturating_add(w)));
             }
         }
-        let reads: Vec<Operation<u64, u64>> =
-            candidates.iter().map(|&(v, _)| Operation::Search(v)).collect();
+        let reads: Vec<Operation<u64, u64>> = candidates
+            .iter()
+            .map(|&(v, _)| Operation::Search(v))
+            .collect();
         ops_trace.extend(candidates.iter().map(|&(v, _)| MapOpKind::Search(v)));
         let olds = run(&mut dist, reads);
 
@@ -127,7 +129,10 @@ fn main() {
     }
 
     let wl = wsm_model::working_set_bound(&ops_trace);
-    println!("settled ~{settled} vertex visits; issued {} map operations", ops_trace.len());
+    println!(
+        "settled ~{settled} vertex visits; issued {} map operations",
+        ops_trace.len()
+    );
     println!(
         "M1 effective work = {} vs working-set bound W_L = {wl} (ratio {:.2})",
         dist.effective_work(),

@@ -37,7 +37,13 @@ fn main() {
     let mut m2: M2<u64, u64> = M2::new(8);
     m2.run_ops((0..10_000).map(|i| Operation::Insert(i, i)).collect());
     m2.run_ops(vec![Operation::Search(1), Operation::Search(9_999)]);
-    let lat: Vec<u64> = m2.latencies().iter().rev().take(2).map(|l| l.latency()).collect();
+    let lat: Vec<u64> = m2
+        .latencies()
+        .iter()
+        .rev()
+        .take(2)
+        .map(|l| l.latency())
+        .collect();
     println!("M2 latest per-op pipeline latencies (virtual steps): {lat:?}");
 
     // ---------------------------------------------------------------
@@ -57,7 +63,10 @@ fn main() {
     for h in handles {
         h.join().unwrap();
     }
-    println!("concurrent map holds {} items after 4 threads x 1000 inserts", map.len());
+    println!(
+        "concurrent map holds {} items after 4 threads x 1000 inserts",
+        map.len()
+    );
 
     // ---------------------------------------------------------------
     // 3. The working-set bound: skewed accesses are provably cheap.

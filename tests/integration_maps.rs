@@ -80,7 +80,10 @@ fn m2_matches_model_on_mixed_zipf_workload() {
 #[test]
 fn m1_and_m2_agree_with_each_other_across_patterns() {
     for pattern in [
-        Pattern::HotSet { hot: 8, miss_rate: 0.1 },
+        Pattern::HotSet {
+            hot: 8,
+            miss_rate: 0.1,
+        },
         Pattern::Uniform,
         Pattern::SequentialScan,
         Pattern::Adversarial,
@@ -137,10 +140,17 @@ fn effective_work_of_all_structures_respects_working_set_bound_shape() {
     // On a high-locality workload, every working-set structure must stay
     // within a (generous) constant factor of W_L, while differing from the
     // uniform workload by a large margin.
-    let hot = WorkloadSpec::read_only(1 << 12, 1 << 14, Pattern::HotSet { hot: 8, miss_rate: 0.02 }, 3)
-        .full_sequence();
-    let uniform =
-        WorkloadSpec::read_only(1 << 12, 1 << 14, Pattern::Uniform, 3).full_sequence();
+    let hot = WorkloadSpec::read_only(
+        1 << 12,
+        1 << 14,
+        Pattern::HotSet {
+            hot: 8,
+            miss_rate: 0.02,
+        },
+        3,
+    )
+    .full_sequence();
+    let uniform = WorkloadSpec::read_only(1 << 12, 1 << 14, Pattern::Uniform, 3).full_sequence();
 
     let work_of = |kinds: &[MapOpKind<u64>]| -> (u64, u64, u64) {
         let mut m0 = M0::new();
@@ -195,8 +205,14 @@ fn deletions_shrink_and_rebuild_correctly() {
     let mut m2 = M2::new(4);
     let n = 4000u64;
     let inserts: Vec<MapOpKind<u64>> = (0..n).map(MapOpKind::Insert).collect();
-    let deletes: Vec<MapOpKind<u64>> = (0..n).filter(|k| k % 2 == 0).map(MapOpKind::Delete).collect();
-    let reinserts: Vec<MapOpKind<u64>> = (0..n).filter(|k| k % 4 == 0).map(MapOpKind::Insert).collect();
+    let deletes: Vec<MapOpKind<u64>> = (0..n)
+        .filter(|k| k % 2 == 0)
+        .map(MapOpKind::Delete)
+        .collect();
+    let reinserts: Vec<MapOpKind<u64>> = (0..n)
+        .filter(|k| k % 4 == 0)
+        .map(MapOpKind::Insert)
+        .collect();
     for kinds in [&inserts, &deletes, &reinserts] {
         let mut id = 0u64;
         for chunk in to_ops(kinds).chunks(50) {

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use wsm_core::{BatchedMap, OpId, OpResult, Operation, TaggedOp, M1, M2};
-use wsm_seq::{InstrumentedMap, IaconoMap, SplayMap, M0};
+use wsm_seq::{IaconoMap, InstrumentedMap, SplayMap, M0};
 
 #[derive(Clone, Debug)]
 enum Op {

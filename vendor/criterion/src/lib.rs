@@ -1,0 +1,194 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Provides the API surface the workspace benches use (`Criterion`,
+//! `benchmark_group`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! `criterion_group!`, `criterion_main!`). Each benchmark runs a small fixed
+//! number of timed iterations and prints a one-line mean; there is no warm-up
+//! modelling, outlier analysis or report generation. Configuration setters
+//! accept and ignore their arguments so call sites compile unchanged.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How many timed iterations each benchmark runs.
+const ITERATIONS: u32 = 3;
+
+/// Entry point object handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Timing driver passed to the benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..ITERATIONS {
+            let start = Instant::now();
+            let out = routine();
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+            std::hint::black_box(&out);
+            drop(out);
+        }
+    }
+}
+
+/// A group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Sets the sample count (ignored by this stand-in).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up time (ignored by this stand-in).
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (ignored by this stand-in).
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput annotation (ignored by this stand-in).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        report(&self.name, &id.id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(&self.name, id, &bencher);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Throughput annotation (accepted and ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+fn report(group: &str, id: &str, b: &Bencher) {
+    let mean = if b.iterations > 0 {
+        b.elapsed / b.iterations
+    } else {
+        Duration::ZERO
+    };
+    println!(
+        "  {group}/{id}: {mean:?} (mean of {} iterations)",
+        b.iterations
+    );
+}
+
+/// Prevents the compiler from optimising a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares a `main` that runs the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u32;
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        group.bench_with_input(BenchmarkId::new("f", 1), &5u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert_eq!(runs, ITERATIONS);
+    }
+}

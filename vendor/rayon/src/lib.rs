@@ -1,0 +1,65 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the surface this workspace uses — [`join`] and
+//! `prelude::par_iter` — with *sequential* execution. Every use in the
+//! workspace is a divide-and-conquer recursion or an independent per-element
+//! map, so results are identical to the real rayon; only the wall-clock
+//! speedup is lost (the analytic work/span accounting the experiments rely
+//! on is computed separately and is unaffected).
+
+/// Runs both closures and returns their results.
+///
+/// The real rayon may run them on different threads; this stand-in runs them
+/// sequentially, which is observationally equivalent for pure computations.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (oper_a(), oper_b())
+}
+
+/// Parallel-iterator traits (sequential implementations).
+pub mod prelude {
+    /// `par_iter` for shared slices, delegating to the ordinary iterator.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type produced.
+        type Iter: Iterator;
+        /// Returns a (here: sequential) iterator over `&self`'s elements.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn par_iter_maps_like_iter() {
+        use super::prelude::*;
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (for forward
+//! compatibility of its report types); nothing serialises values yet, so the
+//! derive macros re-exported here expand to nothing and the marker traits
+//! below exist purely so the names resolve in both namespaces, as with the
+//! real serde.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! Nothing in this workspace actually serialises values (there is no
+//! serde_json or similar); the derives only need to exist so that
+//! `#[derive(Serialize, Deserialize)]` attributes compile. Each derive
+//! expands to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; satisfies `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; satisfies `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
