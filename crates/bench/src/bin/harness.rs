@@ -2,10 +2,19 @@
 //!
 //! Usage:
 //! ```text
-//! harness [e1|e3|e4|e6|e7|e8|e10|e12|e13|e14|all] [--small]
+//! harness [e1|e3|e4|e6|e7|e8|e10|e12|e13|e14|e15|all] [--small] [--threads N]
 //! ```
-//! With no argument, all experiments run at their default (paper-shaped)
-//! sizes; `--small` shrinks them for a quick smoke run.
+//! With no experiment argument, all experiments run at their default
+//! (paper-shaped) sizes; `--small` shrinks them for a quick smoke run.
+//!
+//! `--threads N` pins the work-stealing pool: E1–E14 run inside a dedicated
+//! `N`-worker pool (their analytic results are thread-count independent, but
+//! their wall-clock time is not), and E15 — the wall-clock scaling
+//! experiment — sweeps worker counts `1, 2, 4, 8` capped at `N`.
+//!
+//! Every experiment additionally writes a machine-readable
+//! `BENCH_<id>.json` artifact (into `$WSM_BENCH_DIR` or the current
+//! directory) for regression tracking.
 
 use wsm_bench as bench;
 
@@ -13,94 +22,245 @@ struct Sizes {
     keyspace: u64,
     operations: usize,
     sort_n: usize,
+    /// E15 input sizes: pesort keys, tree batch items, concurrent-map ops.
+    scale_sort_n: usize,
+    scale_tree_n: usize,
+    scale_map_ops: usize,
+    scale_reps: usize,
+}
+
+/// Runs `f` on the dedicated pool when `--threads` was given, otherwise
+/// directly (global pool).  One pool is created per harness run and shared by
+/// every experiment, so per-table timings do not include pool start-up.
+fn in_pool(
+    pool: Option<&wsm_pool::ThreadPool>,
+    f: impl FnOnce() -> Vec<bench::Row> + Send,
+) -> Vec<bench::Row> {
+    match pool {
+        Some(pool) => pool.install(f),
+        None => f(),
+    }
+}
+
+/// Prints the table and persists the `BENCH_<id>.json` artifact.
+fn emit(id: &str, title: &str, rows: &[bench::Row], threads: Option<usize>) {
+    bench::print_table(title, rows);
+    let threads_meta = match threads {
+        Some(n) => n.to_string(),
+        None => "default".to_string(),
+    };
+    let meta = [("threads", threads_meta)];
+    match bench::json::write_rows(&bench::json::bench_dir(), id, &meta, rows) {
+        Ok(path) => println!("[wrote {}]", path.display()),
+        Err(err) => eprintln!("warning: could not write BENCH_{id}.json: {err}"),
+    }
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let small = args.iter().any(|a| a == "--small");
-    let which: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let parsed = parse_args(std::env::args().skip(1));
+    let small = parsed.small;
+    let threads = parsed.threads;
+    let which: Vec<&str> = parsed.which.iter().map(String::as_str).collect();
     let which = if which.is_empty() { vec!["all"] } else { which };
+    let shared_pool = threads.map(wsm_pool::ThreadPool::new);
+    let shared_pool = shared_pool.as_ref();
     let sizes = if small {
         Sizes {
             keyspace: 1 << 10,
             operations: 1 << 12,
             sort_n: 1 << 12,
+            scale_sort_n: 1 << 13,
+            scale_tree_n: 1 << 12,
+            scale_map_ops: 1 << 11,
+            scale_reps: 2,
         }
     } else {
         Sizes {
             keyspace: 1 << 14,
             operations: 1 << 16,
             sort_n: 1 << 15,
+            scale_sort_n: 1 << 20,
+            scale_tree_n: 1 << 16,
+            scale_map_ops: 1 << 14,
+            scale_reps: 3,
         }
     };
 
     let run = |name: &str| which.contains(&"all") || which.contains(&name);
 
     if run("e1") || run("e2") {
-        bench::print_table(
+        let rows = in_pool(shared_pool, || {
+            bench::experiment_sequential_ws(sizes.keyspace, sizes.operations)
+        });
+        emit(
+            "e1",
             "E1/E2: sequential working-set structures vs W_L (work ratio)",
-            &bench::experiment_sequential_ws(sizes.keyspace, sizes.operations),
+            &rows,
+            threads,
         );
     }
     if run("e3") || run("e5") {
-        bench::print_table(
+        let rows = in_pool(shared_pool, || {
+            bench::experiment_parallel_work(sizes.keyspace, sizes.operations / 2, &[2, 4, 8, 16])
+        });
+        emit(
+            "e3",
             "E3/E5: M1 and M2 effective work vs W_L",
-            &bench::experiment_parallel_work(sizes.keyspace, sizes.operations / 2, &[2, 4, 8, 16]),
+            &rows,
+            threads,
         );
     }
     if run("e4") {
-        bench::print_table(
+        let rows = in_pool(shared_pool, || {
+            bench::experiment_m1_span(sizes.keyspace, sizes.operations / 2, &[2, 4, 8, 16, 32])
+        });
+        emit(
+            "e4",
             "E4: M1 effective span per batch vs (log p)^2 + log n",
-            &bench::experiment_m1_span(sizes.keyspace, sizes.operations / 2, &[2, 4, 8, 16, 32]),
+            &rows,
+            threads,
         );
     }
     if run("e6") {
-        bench::print_table(
+        let rows = in_pool(shared_pool, || {
+            bench::experiment_m2_latency(sizes.keyspace, 8)
+        });
+        emit(
+            "e6",
             "E6: M2 per-operation pipeline latency by recency",
-            &bench::experiment_m2_latency(sizes.keyspace, 8),
+            &rows,
+            threads,
         );
     }
     if run("e7") {
-        bench::print_table(
-            "E7: parallel buffer flush cost",
-            &bench::experiment_buffer_cost(&[4, 16, 64]),
-        );
+        let rows = in_pool(shared_pool, || bench::experiment_buffer_cost(&[4, 16, 64]));
+        emit("e7", "E7: parallel buffer flush cost", &rows, threads);
     }
     if run("e8") || run("e9") {
-        bench::print_table(
+        let rows = in_pool(shared_pool, || bench::experiment_sorting(sizes.sort_n));
+        emit(
+            "e8",
             "E8/E9: ESort and PESort work vs the entropy bound",
-            &bench::experiment_sorting(sizes.sort_n),
+            &rows,
+            threads,
         );
     }
     if run("e10") {
-        bench::print_table(
+        let rows = in_pool(shared_pool, || {
+            bench::experiment_static_optimality(sizes.keyspace, sizes.operations / 2)
+        });
+        emit(
+            "e10",
             "E10: static optimality (M1 work vs optimal static BST)",
-            &bench::experiment_static_optimality(sizes.keyspace, sizes.operations / 2),
+            &rows,
+            threads,
         );
     }
     if run("e12") {
-        bench::print_table(
+        let rows = in_pool(shared_pool, || {
+            bench::experiment_combine_ablation(sizes.keyspace, 1 << 10)
+        });
+        emit(
+            "e12",
             "E12: ablation — duplicate combining vs naive per-op execution",
-            &bench::experiment_combine_ablation(sizes.keyspace, 1 << 10),
+            &rows,
+            threads,
         );
     }
     if run("e13") {
-        bench::print_table(
+        let rows = in_pool(shared_pool, || {
+            bench::experiment_pipelining(sizes.keyspace, 8)
+        });
+        emit(
+            "e13",
             "E13: pipelining — M1 vs M2 latency for hot ops behind cold misses",
-            &bench::experiment_pipelining(sizes.keyspace, 8),
+            &rows,
+            threads,
         );
     }
     if run("e14") {
-        bench::print_table(
+        let rows = in_pool(shared_pool, || {
+            bench::experiment_invariants(sizes.keyspace.min(1 << 12), sizes.operations.min(1 << 14))
+        });
+        emit(
+            "e14",
             "E14: runtime invariant checks (Lemma 16 style)",
-            &bench::experiment_invariants(
-                sizes.keyspace.min(1 << 12),
-                sizes.operations.min(1 << 14),
-            ),
+            &rows,
+            threads,
         );
     }
+    if run("e15") {
+        // E15 manages its own pools (one per swept worker count), so it runs
+        // outside the `in_pool` wrapper.
+        let cap = threads.unwrap_or(8).max(1);
+        let mut sweep: Vec<usize> = [1usize, 2, 4, 8]
+            .into_iter()
+            .filter(|&t| t <= cap)
+            .collect();
+        if !sweep.contains(&cap) {
+            sweep.push(cap);
+        }
+        let rows = bench::experiment_scaling(
+            sizes.scale_sort_n,
+            sizes.scale_tree_n,
+            sizes.scale_map_ops,
+            &sweep,
+            sizes.scale_reps,
+        );
+        emit(
+            "e15",
+            "E15: wall-clock scaling on the work-stealing pool (pesort / tree batch / concurrent map)",
+            &rows,
+            threads,
+        );
+    }
+}
+
+/// Parsed command line.
+struct ParsedArgs {
+    small: bool,
+    threads: Option<usize>,
+    which: Vec<String>,
+}
+
+/// Single-pass argument parser.  Invalid or incomplete flags abort with a
+/// message rather than being silently ignored (a typo'd `--threads` must not
+/// produce results labeled as if pinning worked).
+fn parse_args(args: impl Iterator<Item = String>) -> ParsedArgs {
+    let mut parsed = ParsedArgs {
+        small: false,
+        threads: None,
+        which: Vec::new(),
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--small" {
+            parsed.small = true;
+        } else if arg == "--threads" {
+            let value = args
+                .next()
+                .unwrap_or_else(|| usage_error("--threads requires a value"));
+            parsed.threads = Some(parse_positive("--threads", &value));
+        } else if let Some(value) = arg.strip_prefix("--threads=") {
+            parsed.threads = Some(parse_positive("--threads", value));
+        } else if arg.starts_with("--") {
+            usage_error(&format!("unknown flag {arg}"));
+        } else {
+            parsed.which.push(arg);
+        }
+    }
+    parsed
+}
+
+fn parse_positive(flag: &str, value: &str) -> usize {
+    match value.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => usage_error(&format!("{flag} needs a positive integer, got {value:?}")),
+    }
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("harness: {msg}");
+    eprintln!("usage: harness [e1|e3|e4|e6|e7|e8|e10|e12|e13|e14|e15|all] [--small] [--threads N]");
+    std::process::exit(2);
 }

@@ -1,0 +1,152 @@
+//! Minimal JSON emission for machine-readable benchmark artifacts.
+//!
+//! The vendored `serde` is a no-op stand-in (its derives generate nothing),
+//! so this module hand-writes the tiny subset of JSON the harness needs:
+//! objects, arrays, strings and finite numbers.  Every harness run persists
+//! one `BENCH_<experiment>.json` per experiment so results can be
+//! regression-tracked across commits (ROADMAP "Benches are not wired to
+//! BENCH_*.json output").
+
+use crate::Row;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Escapes a string for a JSON string literal (quotes not included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON number (`null` for NaN/infinite values, which
+/// JSON cannot represent).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // Rust's `Display` for f64 prints the shortest round-trip decimal,
+        // which is valid JSON.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders one experiment's rows as a self-describing JSON document:
+///
+/// ```json
+/// {
+///   "experiment": "e15",
+///   "meta": {"threads": "4"},
+///   "rows": [{"label": "...", "values": {"mean ns/op": 123.4}}]
+/// }
+/// ```
+pub fn rows_to_json(experiment: &str, meta: &[(&str, String)], rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"{}\",", escape(experiment));
+    out.push_str("  \"meta\": {");
+    for (i, (key, value)) in meta.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\": \"{}\"", escape(key), escape(value));
+    }
+    out.push_str("},\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"label\": \"{}\", \"values\": {{",
+            escape(&row.label)
+        );
+        for (j, (key, value)) in row.values.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {}", escape(key), number(*value));
+        }
+        out.push_str("}}");
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Directory benchmark artifacts are written to: `$WSM_BENCH_DIR` if set,
+/// otherwise the current working directory.
+pub fn bench_dir() -> PathBuf {
+    std::env::var_os("WSM_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Writes `BENCH_<experiment>.json` into `dir`, returning the path written.
+pub fn write_rows(
+    dir: &Path,
+    experiment: &str,
+    meta: &[(&str, String)],
+    rows: &[Row],
+) -> std::io::Result<PathBuf> {
+    let path = dir.join(format!("BENCH_{experiment}.json"));
+    std::fs::write(&path, rows_to_json(experiment, meta, rows))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn number_handles_non_finite() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn rows_render_as_valid_looking_json() {
+        let rows = vec![
+            Row::new("pesort t=1", vec![("threads", 1.0), ("mean ns/op", 250.25)]),
+            Row::new("pesort t=2", vec![("threads", 2.0), ("mean ns/op", 130.0)]),
+        ];
+        let json = rows_to_json("e15", &[("threads", "2".to_string())], &rows);
+        assert!(json.contains("\"experiment\": \"e15\""));
+        assert!(json.contains("\"threads\": 1"));
+        assert!(json.contains("\"mean ns/op\": 250.25"));
+        // Balanced braces / brackets (cheap well-formedness check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn write_rows_creates_artifact() {
+        let dir = std::env::temp_dir().join("wsm_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let rows = vec![Row::new("r", vec![("v", 1.0)])];
+        let path = write_rows(&dir, "e_test", &[], &rows).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"experiment\": \"e_test\""));
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -5,6 +5,8 @@
 //! EXPERIMENTS.md and returns printable rows; the harness binary formats them
 //! as the tables recorded in EXPERIMENTS.md.
 
+pub mod json;
+
 use serde::Serialize;
 use wsm_core::{BatchedMap, OpId, Operation, TaggedOp, M1, M2};
 use wsm_model::{working_set_bound, Cost, MapOpKind};
@@ -435,6 +437,144 @@ pub fn experiment_pipelining(keyspace: u64, p: usize) -> Vec<Row> {
     )]
 }
 
+/// E15: wall-clock scaling of the parallel substrates on the work-stealing
+/// pool (`wsm-pool`) at increasing worker counts.
+///
+/// Three workloads, each timed end-to-end and reported as mean ns per
+/// operation plus speedup over the first (usually 1-worker) configuration:
+///
+/// * `pesort` — one parallel entropy sort of `sort_n` random keys;
+/// * `tree batch` — one `par_batch_insert` of `tree_n` sorted items into an
+///   empty 2-3 tree followed by one `par_batch_get` of every key;
+/// * `concurrent map` — `t` OS threads hammering a [`wsm_core::ConcurrentMap`]
+///   (insert + search on disjoint ranges), whose combiner runs batches on a
+///   dedicated `t`-worker pool.
+///
+/// Unlike E1–E14 this measures *wall-clock* time, not analytic cost: it is
+/// the experiment that justifies the pool's existence (speedup curves), so
+/// its output is meaningful only on a multi-core runner.
+pub fn experiment_scaling(
+    sort_n: usize,
+    tree_n: usize,
+    map_ops: usize,
+    thread_counts: &[usize],
+    reps: usize,
+) -> Vec<Row> {
+    use std::sync::Arc;
+    use std::time::Instant;
+    use wsm_core::ConcurrentMap;
+    use wsm_sort::pesort;
+    use wsm_twothree::Tree23;
+
+    let reps = reps.max(1);
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let sort_input: Vec<u64> = (0..sort_n).map(|_| next()).collect();
+    let tree_items: Vec<(u64, u64)> = (0..tree_n as u64).map(|i| (i * 2, i)).collect();
+    let tree_keys: Vec<u64> = tree_items.iter().map(|(k, _)| *k).collect();
+
+    let mut rows = Vec::new();
+    let mut baselines: std::collections::BTreeMap<&'static str, f64> =
+        std::collections::BTreeMap::new();
+    let mut record = |rows: &mut Vec<Row>, name: &'static str, t: usize, n: usize, ns_op: f64| {
+        let base = *baselines.entry(name).or_insert(ns_op);
+        rows.push(Row::new(
+            format!("{name} t={t}"),
+            vec![
+                ("threads", t as f64),
+                ("n", n as f64),
+                ("mean ns/op", ns_op),
+                ("speedup vs first", base / ns_op),
+            ],
+        ));
+    };
+
+    for &t in thread_counts {
+        let pool = Arc::new(wsm_pool::ThreadPool::new(t));
+
+        // PESort of `sort_n` random keys.
+        let mut total_ns = 0.0;
+        for _ in 0..reps {
+            let input = sort_input.clone();
+            total_ns += pool.install(move || {
+                let start = Instant::now();
+                let (sorted, _) = pesort(input);
+                let ns = start.elapsed().as_nanos() as f64;
+                assert_eq!(sorted.len(), sort_n);
+                ns
+            });
+        }
+        record(
+            &mut rows,
+            "pesort",
+            t,
+            sort_n,
+            total_ns / (reps * sort_n) as f64,
+        );
+
+        // 2-3 tree batch insert + batch get (2 * tree_n operations total).
+        let mut total_ns = 0.0;
+        for _ in 0..reps {
+            let items = tree_items.clone();
+            let keys = &tree_keys;
+            total_ns += pool.install(move || {
+                let start = Instant::now();
+                let mut tree: Tree23<u64, u64> = Tree23::new();
+                tree.par_batch_insert(items);
+                let found = tree.par_batch_get(keys);
+                let ns = start.elapsed().as_nanos() as f64;
+                assert_eq!(found.len(), keys.len());
+                ns
+            });
+        }
+        record(
+            &mut rows,
+            "tree batch",
+            t,
+            tree_n,
+            total_ns / (reps * 2 * tree_n) as f64,
+        );
+
+        // ConcurrentMap: `t` OS threads, combiner batches on the same pool.
+        let mut total_ns = 0.0;
+        let ops_per_thread = (map_ops / t.max(1)).max(1);
+        for _ in 0..reps {
+            let map = Arc::new(ConcurrentMap::with_pool(
+                M1::<u64, u64>::new(8),
+                t,
+                Arc::clone(&pool),
+            ));
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for th in 0..t {
+                    let map = Arc::clone(&map);
+                    s.spawn(move || {
+                        let base = th as u64 * 100_000_000;
+                        for i in 0..ops_per_thread as u64 {
+                            map.insert(th, base + i, i);
+                            map.search(th, base + i);
+                        }
+                    });
+                }
+            });
+            total_ns += start.elapsed().as_nanos() as f64;
+        }
+        record(
+            &mut rows,
+            "concurrent map",
+            t,
+            map_ops,
+            total_ns / (reps * 2 * ops_per_thread * t) as f64,
+        );
+    }
+    rows
+}
+
 /// E14: runtime invariant checking of M1 and M2 over mixed workloads.
 pub fn experiment_invariants(keyspace: u64, operations: usize) -> Vec<Row> {
     let mut spec = WorkloadSpec::read_only(keyspace, operations, Pattern::Zipf(1.0), 7);
@@ -505,5 +645,31 @@ mod tests {
     fn invariant_experiment_passes() {
         let rows = experiment_invariants(1 << 9, 1 << 11);
         assert!(rows[0].values[0].1 > 0.0);
+    }
+
+    #[test]
+    fn scaling_experiment_rows_are_well_formed() {
+        let rows = experiment_scaling(1 << 10, 1 << 9, 1 << 8, &[1, 2], 1);
+        // 3 workloads x 2 thread counts.
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert_eq!(row.values.len(), 4, "row {}", row.label);
+            let ns_op = row
+                .values
+                .iter()
+                .find(|(k, _)| k == "mean ns/op")
+                .unwrap()
+                .1;
+            assert!(ns_op > 0.0, "non-positive timing in {}", row.label);
+        }
+        // The first configuration is its own baseline: speedup exactly 1.
+        let first = rows.iter().find(|r| r.label.starts_with("pesort")).unwrap();
+        let speedup = first
+            .values
+            .iter()
+            .find(|(k, _)| k == "speedup vs first")
+            .unwrap()
+            .1;
+        assert!((speedup - 1.0).abs() < 1e-9);
     }
 }

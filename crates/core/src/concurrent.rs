@@ -10,42 +10,81 @@
 //! batch through the underlying batched map (M1 or M2) and distributes the
 //! results.  This is exactly the flat-combining / work-stealing realisation
 //! the paper sketches in Section 8.
+//!
+//! Two things make the combiner loop fast:
+//!
+//! * **Park/notify wake-ups.**  Waiting callers park on a single
+//!   generation-counting [`Doorbell`]; the combiner rings it once per
+//!   activation (after distributing a whole batch of results), so there is no
+//!   fixed-timeout polling.  A caller re-attempts the activation on every
+//!   wake-up, which also closes the classic flat-combining hand-off race (a
+//!   combiner observing an empty buffer and exiting just as a new operation
+//!   lands): the ring that follows every activation guarantees somebody
+//!   re-checks.
+//! * **Pool-driven batches.**  The combiner executes `run_batch` inside the
+//!   work-stealing pool (`wsm_pool`), so the parallel recursions inside the
+//!   batched map (PESort, 2-3 tree batch splits) actually fan out across
+//!   workers instead of running on the lone combiner thread.
+//!
+//! One usage rule follows from the pool dispatch: do not call the map from
+//! *inside* a pool task (`wsm_pool::join`/`scope` closures) — map calls block
+//! on the doorbell, and a blocked worker cannot help execute the very batch
+//! it is waiting on.  Ordinary OS threads (as in the tests, examples and
+//! benches) are the intended callers, matching the paper's model of `p`
+//! processors calling the map.
 
 use crate::buffer::ParallelBuffer;
 use crate::ops::{BatchedMap, OpId, OpResult, Operation, TaggedOp};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
-use std::time::Duration;
 
 struct ResultSlot<V> {
     result: Mutex<Option<OpResult<V>>>,
-    cv: Condvar,
 }
 
 impl<V> ResultSlot<V> {
     fn new() -> Arc<Self> {
         Arc::new(ResultSlot {
             result: Mutex::new(None),
-            cv: Condvar::new(),
         })
     }
 
     fn fill(&self, r: OpResult<V>) {
-        let mut guard = self.result.lock();
-        *guard = Some(r);
-        self.cv.notify_all();
+        *self.result.lock() = Some(r);
     }
 
     fn try_take(&self) -> Option<OpResult<V>> {
         self.result.lock().take()
     }
+}
 
-    fn wait_for(&self, timeout: Duration) -> Option<OpResult<V>> {
-        let mut guard = self.result.lock();
-        if guard.is_none() {
-            self.cv.wait_for(&mut guard, timeout);
+/// A generation-counting condvar: waiters record the generation they observed
+/// and sleep until it moves past it.  Ringing after every combiner activation
+/// makes lost wake-ups impossible: any activation that could have consumed a
+/// waiter's operation (or raced with its activation attempt) finishes with a
+/// ring that happens after the waiter captured its generation.
+#[derive(Default)]
+struct Doorbell {
+    generation: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Doorbell {
+    fn current(&self) -> u64 {
+        *self.generation.lock()
+    }
+
+    fn ring(&self) {
+        let mut generation = self.generation.lock();
+        *generation = generation.wrapping_add(1);
+        self.cv.notify_all();
+    }
+
+    fn wait_past(&self, seen: u64) {
+        let mut generation = self.generation.lock();
+        while *generation == seen {
+            self.cv.wait(&mut generation);
         }
-        guard.take()
     }
 }
 
@@ -62,6 +101,10 @@ struct Pending<K, V> {
 pub struct ConcurrentMap<K, V, M> {
     buffer: ParallelBuffer<Pending<K, V>>,
     inner: Mutex<M>,
+    doorbell: Doorbell,
+    /// When set, batches run on this dedicated pool instead of the global
+    /// one (used by the E15 scaling experiment to pin the worker count).
+    pool: Option<Arc<wsm_pool::ThreadPool>>,
 }
 
 impl<K, V, M> ConcurrentMap<K, V, M>
@@ -71,11 +114,23 @@ where
     M: BatchedMap<K, V> + Send,
 {
     /// Wraps a batched map, sharding the parallel buffer for `shards`
-    /// submitting threads.
+    /// submitting threads.  Batches execute on the global work-stealing pool.
     pub fn new(inner: M, shards: usize) -> Self {
+        Self::build(inner, shards, None)
+    }
+
+    /// Like [`ConcurrentMap::new`], but batch execution runs on the given
+    /// dedicated pool (so experiments can fix the worker count).
+    pub fn with_pool(inner: M, shards: usize, pool: Arc<wsm_pool::ThreadPool>) -> Self {
+        Self::build(inner, shards, Some(pool))
+    }
+
+    fn build(inner: M, shards: usize, pool: Option<Arc<wsm_pool::ThreadPool>>) -> Self {
         ConcurrentMap {
             buffer: ParallelBuffer::new(shards),
             inner: Mutex::new(inner),
+            doorbell: Doorbell::default(),
+            pool,
         }
     }
 
@@ -125,6 +180,15 @@ where
     }
 
     /// Deposits one call and drives combining until its result is available.
+    ///
+    /// The loop below is deadlock-free by a pairing argument: a caller parks
+    /// only after (a) capturing the doorbell generation, then (b) attempting
+    /// the activation itself.  If the attempt lost, some other thread held
+    /// the activation at that moment, and that holder's activation finishes
+    /// with a [`Doorbell::ring`] *after* releasing — i.e. after our capture —
+    /// so our park is bounded by it.  If the attempt won, we combined until
+    /// the buffer was empty and our own result was delivered (possibly by an
+    /// earlier combiner).
     pub fn call(&self, shard: usize, op: Operation<K, V>) -> OpResult<V> {
         let slot = ResultSlot::new();
         self.buffer.push(
@@ -135,29 +199,37 @@ where
             },
         );
         loop {
+            let seen = self.doorbell.current();
             // Try to become the combiner; whoever wins processes everything
-            // currently buffered (and re-runs while more arrives).
-            self.buffer.activate(
-                || !self.buffer.is_empty(),
+            // currently buffered (and re-runs while more arrives).  The
+            // readiness condition is `true` so that *holding* the activation
+            // always implies at least one run — and therefore a ring below —
+            // even if the buffer momentarily looks empty.
+            let runs = self.buffer.activate(
+                || true,
                 || {
                     self.combine();
                     !self.buffer.is_empty()
                 },
             );
+            if runs > 0 {
+                // We held the activation: hand off to every caller whose
+                // result a combine run delivered, and to anyone whose
+                // activation attempt we beat.
+                self.doorbell.ring();
+            }
             if let Some(r) = slot.try_take() {
                 return r;
             }
-            // Another thread is combining; wait briefly for our result, then
-            // retry (the retry covers the race where the combiner finished
-            // just before our push became visible).
-            if let Some(r) = slot.wait_for(Duration::from_micros(200)) {
-                return r;
-            }
+            // Another thread holds the combiner role; park until the next
+            // hand-off, then re-check / re-attempt.
+            self.doorbell.wait_past(seen);
         }
     }
 
     /// Flushes the buffer and runs the accumulated batch through the
-    /// underlying map, delivering each result to its caller.
+    /// underlying map (inside the work-stealing pool, so the batch's internal
+    /// parallelism fans out), delivering each result to its caller.
     fn combine(&self) {
         let (pending, _cost) = self.buffer.flush();
         if pending.is_empty() {
@@ -176,7 +248,11 @@ where
             })
             .collect();
         let mut inner = self.inner.lock();
-        let (results, _cost) = inner.run_batch(batch);
+        let map: &mut M = &mut inner;
+        let (results, _cost) = match &self.pool {
+            Some(pool) => pool.install(move || map.run_batch(batch)),
+            None => wsm_pool::run(move || map.run_batch(batch)),
+        };
         drop(inner);
         for (id, result) in results {
             slots[id as usize].fill(result);
@@ -209,6 +285,19 @@ mod tests {
         assert_eq!(map.delete(0, 1), Some(11));
         assert_eq!(map.search(0, 1), None);
         assert_eq!(map.len(), 0);
+    }
+
+    #[test]
+    fn roundtrip_on_dedicated_pool() {
+        let pool = Arc::new(wsm_pool::ThreadPool::new(2));
+        let map = ConcurrentMap::with_pool(M1::<u64, u64>::new(4), 4, pool);
+        for k in 0..500u64 {
+            assert_eq!(map.insert(0, k, k + 1), None);
+        }
+        for k in 0..500u64 {
+            assert_eq!(map.search(0, k), Some(k + 1));
+        }
+        assert_eq!(map.len(), 500);
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Type-erased units of work that can migrate between threads.
+//!
+//! The pool moves work around as [`JobRef`]s: a thin data pointer plus an
+//! `unsafe fn` that knows how to run it.  Two concrete job kinds exist:
+//!
+//! * [`StackJob`] — lives on the *owner's* stack (the `join` caller).  The
+//!   owner guarantees the job stays alive until either it reclaims the job
+//!   from its own deque un-executed, or it observes the job's latch set.
+//!   This is the standard fork-join lifetime-erasure technique (rayon,
+//!   crossbeam): the reference is only ever dereferenced while the owner is
+//!   provably blocked inside the frame that owns the job.
+//! * [`HeapJob`] — boxed, used by [`crate::scope`] spawns.  Owns its closure;
+//!   the scope blocks until every spawned job has run, which is what keeps
+//!   the closure's borrows (of lifetime `'scope`) valid.
+//!
+//! # Safety protocol
+//!
+//! For a `StackJob`, exactly one of these happens:
+//!
+//! 1. the owner pops the job back off its own deque before anyone stole it
+//!    and runs it in place ([`StackJob::run_inline`]), or
+//! 2. a thief executes it via [`JobRef::execute`]; the executor's **final**
+//!    access to the job memory is `latch.set()`, and the owner touches the
+//!    result cell only after `latch.probe()` returns true.
+//!
+//! Either way there is never a concurrent access to the closure or result
+//! cells, and the memory outlives every access.
+
+use crate::latch::Latch;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::thread;
+
+/// A type-erasable unit of work.
+pub(crate) trait Job {
+    /// Runs the job.
+    ///
+    /// # Safety
+    /// `this` must point to a live instance of the implementing type, and the
+    /// job must be executed at most once.
+    unsafe fn execute_raw(this: *const ());
+}
+
+/// A thin, `Copy` reference to a job queued in a deque or injector.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct JobRef {
+    pointer: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// Safety: a JobRef is only created for jobs designed to be executed from
+// another thread (see module docs); the owner keeps the pointee alive until
+// the job has run or has been reclaimed.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Erases a concrete job into a `JobRef`.
+    ///
+    /// # Safety
+    /// The caller must keep `data` alive until the job has executed or has
+    /// been reclaimed from every queue.
+    pub(crate) unsafe fn new<T: Job>(data: *const T) -> JobRef {
+        JobRef {
+            pointer: data as *const (),
+            execute_fn: T::execute_raw,
+        }
+    }
+
+    /// Runs the job.
+    ///
+    /// # Safety
+    /// The job must still be alive and must not have been executed before.
+    pub(crate) unsafe fn execute(self) {
+        // Safety: forwarded to the caller's obligations.
+        unsafe { (self.execute_fn)(self.pointer) }
+    }
+}
+
+impl PartialEq for JobRef {
+    // Identity is the data pointer alone: distinct live jobs have distinct
+    // addresses, and comparing the fn pointer too would be both redundant and
+    // unreliable (identical functions may be merged or duplicated).
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.pointer, other.pointer)
+    }
+}
+
+impl Eq for JobRef {}
+
+/// A fork-join job allocated on its owner's stack (see module docs).
+pub(crate) struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<thread::Result<R>>>,
+    /// Set once the job has been executed by a thief.
+    pub(crate) latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    /// Wraps a closure into a stack job.
+    pub(crate) fn new(func: F) -> StackJob<F, R> {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            latch: Latch::new(),
+        }
+    }
+
+    /// Erases this job for queueing.
+    ///
+    /// # Safety
+    /// The caller must uphold the stack-job protocol from the module docs.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        // Safety: caller keeps `self` alive per the protocol.
+        unsafe { JobRef::new(self) }
+    }
+
+    /// Owner side, case 1 of the protocol: the job was reclaimed un-stolen;
+    /// run the closure in place.  Panics propagate to the caller.
+    ///
+    /// # Safety
+    /// Only the owner may call this, and only after removing the job from its
+    /// deque (so no thief can reach it).
+    pub(crate) unsafe fn run_inline(&self) -> R {
+        // Safety: exclusive access per the protocol.
+        let func = unsafe { (*self.func.get()).take() }.expect("stack job executed twice");
+        func()
+    }
+
+    /// Owner side, case 2 of the protocol: takes the thief-produced result.
+    ///
+    /// # Safety
+    /// Only the owner may call this, and only after `latch.probe()` returned
+    /// true.
+    pub(crate) unsafe fn take_result(&self) -> thread::Result<R> {
+        // Safety: the latch orders the executor's write before this read.
+        unsafe { (*self.result.get()).take() }.expect("stack job result missing after latch set")
+    }
+}
+
+impl<F, R> Job for StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    unsafe fn execute_raw(this: *const ()) {
+        // Safety: `this` points to a live StackJob (owner is blocked in the
+        // owning frame) and we are the unique executor.
+        let this = unsafe { &*(this as *const Self) };
+        let func = unsafe { (*this.func.get()).take() }.expect("stack job executed twice");
+        let result = panic::catch_unwind(AssertUnwindSafe(func));
+        unsafe { *this.result.get() = Some(result) };
+        // Final access to the job memory: after this the owner may free it.
+        this.latch.set();
+    }
+}
+
+/// A heap-allocated fire-and-forget job (used by scope spawns).
+pub(crate) struct HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    func: F,
+}
+
+impl<F> HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    /// Boxes a closure as a heap job.
+    pub(crate) fn new(func: F) -> Box<HeapJob<F>> {
+        Box::new(HeapJob { func })
+    }
+
+    /// Erases the job, transferring ownership of the box into the `JobRef`.
+    ///
+    /// # Safety
+    /// The caller must guarantee that everything the closure borrows outlives
+    /// its execution (the scope blocks until all spawned jobs complete), and
+    /// that the returned ref is executed exactly once (it owns the box).
+    pub(crate) unsafe fn into_job_ref(self: Box<Self>) -> JobRef {
+        // Safety: execute_raw re-boxes and frees the allocation.
+        unsafe { JobRef::new(Box::into_raw(self)) }
+    }
+}
+
+impl<F> Job for HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    unsafe fn execute_raw(this: *const ()) {
+        // Safety: `this` came from Box::into_raw in into_job_ref and is
+        // executed exactly once.
+        let this = unsafe { Box::from_raw(this as *mut Self) };
+        (this.func)();
+    }
+}

@@ -1,0 +1,55 @@
+//! One-shot completion latches.
+//!
+//! A [`Latch`] marks a job as finished.  It is deliberately *just* an atomic
+//! flag: the blocking machinery for threads that wait on a latch lives in the
+//! [`crate::registry::Registry`] (which outlives every job), never in the job
+//! itself.  This is what makes the stack-allocated job protocol sound — see
+//! the safety discussion in [`crate::job`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A one-shot "this job has completed" flag.
+///
+/// All accesses use `SeqCst`: the client-wakeup handshake in the registry
+/// relies on a total order between `set` / `probe` and the waiter-count
+/// atomics (a Dekker-style pattern that weaker orderings do not guarantee).
+#[derive(Debug, Default)]
+pub(crate) struct Latch {
+    set: AtomicBool,
+}
+
+impl Latch {
+    /// Creates an unset latch.
+    pub(crate) fn new() -> Latch {
+        Latch {
+            set: AtomicBool::new(false),
+        }
+    }
+
+    /// True once [`Latch::set`] has been called.
+    pub(crate) fn probe(&self) -> bool {
+        self.set.load(Ordering::SeqCst)
+    }
+
+    /// Marks the latch as set.
+    ///
+    /// For a latch embedded in a stack job this must be the executor's **last**
+    /// access to the job's memory: as soon as the store is visible, the owner
+    /// may pop the stack frame that contains the job.
+    pub(crate) fn set(&self) {
+        self.set.store(true, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_then_probe() {
+        let l = Latch::new();
+        assert!(!l.probe());
+        l.set();
+        assert!(l.probe());
+    }
+}

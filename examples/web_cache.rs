@@ -1,7 +1,10 @@
 //! Web-cache style workload: a skewed (Zipfian) stream of page lookups with a
 //! small fraction of updates, served concurrently by many worker threads.
 //!
-//! Run with `cargo run --example web_cache --release`.
+//! Run with `cargo run --example web_cache --release`.  The number of
+//! request-serving OS threads defaults to 4 and can be overridden with
+//! `WSM_WORKERS=n`; the map's combiner additionally fans each batch out on
+//! the work-stealing pool (`wsm-pool`, sized by `WSM_POOL_THREADS`).
 //!
 //! This is the motivating scenario for working-set structures: most requests
 //! hit a small set of hot pages, so a distribution-sensitive map does `O(log
@@ -17,7 +20,15 @@ use wsm_workloads::{Pattern, WorkloadSpec};
 
 const PAGES: u64 = 1 << 14;
 const REQUESTS_PER_WORKER: usize = 20_000;
-const WORKERS: usize = 4;
+
+/// Request-serving OS threads: `WSM_WORKERS` or 4.
+fn workers() -> usize {
+    std::env::var("WSM_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4)
+}
 
 fn request_stream(worker: u64) -> Vec<u64> {
     WorkloadSpec::read_only(PAGES, REQUESTS_PER_WORKER, Pattern::Zipf(1.1), worker)
@@ -28,14 +39,15 @@ fn request_stream(worker: u64) -> Vec<u64> {
 }
 
 fn main() {
+    let workers = workers();
     // --- implicitly batched working-set map ---------------------------------
-    let mut inner = M1::<u64, u64>::new(WORKERS.max(2));
+    let mut inner = M1::<u64, u64>::new(workers.max(2));
     inner.run_ops((0..PAGES).map(|p| Operation::Insert(p, p)).collect());
     let warm_work = inner.effective_work();
-    let cache = Arc::new(ConcurrentMap::new(inner, WORKERS));
+    let cache = Arc::new(ConcurrentMap::new(inner, workers));
 
     let start = Instant::now();
-    let handles: Vec<_> = (0..WORKERS)
+    let handles: Vec<_> = (0..workers)
         .map(|w| {
             let cache = Arc::clone(&cache);
             std::thread::spawn(move || {
@@ -55,7 +67,7 @@ fn main() {
         .collect();
     let hits: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
     let wsm_elapsed = start.elapsed();
-    let total_requests = (WORKERS * REQUESTS_PER_WORKER) as u64;
+    let total_requests = (workers * REQUESTS_PER_WORKER) as u64;
     let wsm_work = cache.effective_work() - warm_work;
 
     println!("working-set cache: {total_requests} requests, {hits} hits");
@@ -72,7 +84,7 @@ fn main() {
     }
     let avl = Arc::new(parking_lot_mutex::Mutex::new(avl));
     let start = Instant::now();
-    let handles: Vec<_> = (0..WORKERS)
+    let handles: Vec<_> = (0..workers)
         .map(|w| {
             let avl = Arc::clone(&avl);
             std::thread::spawn(move || {

@@ -1,0 +1,179 @@
+//! Property and stress tests for the work-stealing pool (`wsm-pool`): the
+//! parallel code paths must be observationally identical to their sequential
+//! counterparts, at every pool size.
+//!
+//! This is the workspace-level safety net for PR 2's tentpole: `rayon::join`
+//! now runs on real threads, so `pesort` and the `Tree23::par_*` batch
+//! operations execute with genuine interleaving.  Determinism is a theorem
+//! about the algorithms (divide-and-conquer with order-preserving merges),
+//! and these tests check it empirically under randomized inputs and
+//! different worker counts.
+
+use proptest::prelude::*;
+use wsm_sort::{pesort, pesort_by, pesort_group};
+use wsm_twothree::Tree23;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_pesort_matches_std_sort(
+        items in prop::collection::vec(any::<u32>(), 0..5000),
+        threads in 1usize..5,
+    ) {
+        let mut expected = items.clone();
+        expected.sort();
+        let got = wsm_pool::with_threads(threads, move || pesort(items).0);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn parallel_pesort_is_stable(
+        keys in prop::collection::vec(0u8..16, 0..4000),
+        threads in 1usize..5,
+    ) {
+        // Tag every item with its arrival index; sorting by key only must
+        // keep tags ascending within each key, on every pool size.
+        let tagged: Vec<(u8, usize)> = keys.into_iter().zip(0..).collect();
+        let sorted = wsm_pool::with_threads(threads, move || {
+            pesort_by(tagged, &|a: &(u8, usize), b: &(u8, usize)| a.0.cmp(&b.0)).0
+        });
+        for w in sorted.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "equal keys reordered under parallelism");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_pesort_group_matches_sequential_grouping(
+        keys in prop::collection::vec(0u16..64, 0..3000),
+    ) {
+        // pesort_group drives M1/M2's duplicate combining; its output must
+        // not depend on whether the sort underneath ran in parallel.
+        let par = wsm_pool::with_threads(4, {
+            let keys = keys.clone();
+            move || pesort_group(&keys).0
+        });
+        let seq = wsm_pool::with_threads(1, move || pesort_group(&keys).0);
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_batch_insert_matches_sequential(
+        keys in prop::collection::btree_set(any::<u16>(), 0..3000),
+        threads in 1usize..5,
+    ) {
+        let items: Vec<(u16, u16)> = keys.iter().map(|&k| (k, k.wrapping_mul(7))).collect();
+        let seq_replaced = {
+            let mut tree: Tree23<u16, u16> = Tree23::new();
+            let replaced = tree.batch_insert(items.clone());
+            tree.check_invariants();
+            replaced
+        };
+        let (par_replaced, len) = wsm_pool::with_threads(threads, move || {
+            let mut tree: Tree23<u16, u16> = Tree23::new();
+            let replaced = tree.par_batch_insert(items);
+            tree.check_invariants();
+            (replaced, tree.len())
+        });
+        prop_assert_eq!(par_replaced, seq_replaced);
+        prop_assert_eq!(len, keys.len());
+    }
+
+    #[test]
+    fn par_batch_roundtrip_matches_sequential(
+        insert_keys in prop::collection::btree_set(any::<u16>(), 1..2000),
+        remove_keys in prop::collection::btree_set(any::<u16>(), 1..2000),
+    ) {
+        // Insert one sorted batch, remove another (overlapping) one, read
+        // everything back — in parallel and sequentially — and compare all
+        // three result vectors plus the surviving content.
+        let items: Vec<(u16, u32)> = insert_keys.iter().map(|&k| (k, u32::from(k) + 1)).collect();
+        let removals: Vec<u16> = remove_keys.iter().copied().collect();
+        let probe: Vec<u16> = (0..2048).map(|i| (i * 31) as u16).collect();
+
+        let run = |parallel: bool| {
+            let items = items.clone();
+            let removals = removals.clone();
+            let probe = probe.clone();
+            move || {
+                let mut tree: Tree23<u16, u32> = Tree23::new();
+                let replaced = if parallel {
+                    tree.par_batch_insert(items)
+                } else {
+                    tree.batch_insert(items)
+                };
+                let removed = if parallel {
+                    tree.par_batch_remove(&removals)
+                } else {
+                    tree.batch_remove(&removals)
+                };
+                tree.check_invariants();
+                let found: Vec<Option<u32>> = if parallel {
+                    tree.par_batch_get(&probe).into_iter().map(|v| v.copied()).collect()
+                } else {
+                    tree.batch_get(&probe).into_iter().map(|v| v.copied()).collect()
+                };
+                (replaced, removed, found, tree.len())
+            }
+        };
+        let par = wsm_pool::with_threads(4, run(true));
+        let seq = run(false)();
+        prop_assert_eq!(par, seq);
+    }
+}
+
+/// Stress: many OS threads running parallel sorts concurrently on the global
+/// pool, interleaved with fork-join tree batch operations — results must
+/// still be deterministic.
+#[test]
+fn concurrent_external_sorts_stay_correct() {
+    let handles: Vec<_> = (0..6u64)
+        .map(|seed| {
+            std::thread::spawn(move || {
+                let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) + 1;
+                let mut next = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                };
+                for round in 0..5 {
+                    let n = 2000 + (round * 997) as usize;
+                    let items: Vec<u64> = (0..n).map(|_| next() % 1000).collect();
+                    let mut expected = items.clone();
+                    expected.sort();
+                    let (got, _) = pesort(items);
+                    assert_eq!(got, expected, "seed {seed} round {round}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// Stress: nested parallelism — a scope spawning joins that themselves sort —
+/// must neither deadlock nor corrupt results.
+#[test]
+fn nested_scope_and_join_stress() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let done = AtomicUsize::new(0);
+    wsm_pool::scope(|s| {
+        for t in 0..8usize {
+            let done = &done;
+            s.spawn(move |_| {
+                let items: Vec<u64> = (0..3000).map(|i| (i * 37 + t as u64 * 101) % 500).collect();
+                let mut expected = items.clone();
+                expected.sort();
+                let (got, _) = pesort(items);
+                assert_eq!(got, expected);
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+    });
+    assert_eq!(done.load(Ordering::SeqCst), 8);
+}

@@ -1,16 +1,25 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate, now backed by **real threads**.
 //!
-//! Provides the surface this workspace uses — [`join`] and
-//! `prelude::par_iter` — with *sequential* execution. Every use in the
-//! workspace is a divide-and-conquer recursion or an independent per-element
-//! map, so results are identical to the real rayon; only the wall-clock
-//! speedup is lost (the analytic work/span accounting the experiments rely
-//! on is computed separately and is unaffected).
+//! PR 1 shipped this as a sequential shim (no registry access to vendor the
+//! real rayon); since PR 2 it delegates to the in-repo work-stealing pool
+//! [`wsm_pool`], so every `rayon::join` and `par_iter` call site in the
+//! workspace gets genuine parallelism without changing a line of caller
+//! code.  The surface still matches upstream rayon where the workspace uses
+//! it: [`join`], `prelude::IntoParallelRefIterator::par_iter` with
+//! `.map(...).collect()`, and [`scope`]/[`Scope::spawn`].
+//!
+//! Thread-count control (not part of upstream's surface, but handy for the
+//! scaling experiments): `wsm_pool::with_threads(n, f)` runs `f` on a
+//! dedicated `n`-worker pool; outside of that, work lands on the global pool
+//! sized by `WSM_POOL_THREADS` or the machine's available parallelism.
 
-/// Runs both closures and returns their results.
+pub use wsm_pool::{scope, Scope};
+
+/// Runs both closures, potentially in parallel, and returns their results.
 ///
-/// The real rayon may run them on different threads; this stand-in runs them
-/// sequentially, which is observationally equivalent for pure computations.
+/// Delegates to [`wsm_pool::join`]: `a` runs on the calling context while `b`
+/// is exposed for stealing; panics propagate to the caller after both sides
+/// settle (first panic wins), exactly like upstream rayon.
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -18,36 +27,77 @@ where
     RA: Send,
     RB: Send,
 {
-    (oper_a(), oper_b())
+    wsm_pool::join(oper_a, oper_b)
 }
 
-/// Parallel-iterator traits (sequential implementations).
+/// Parallel-iterator traits (work-stealing implementations over slices).
 pub mod prelude {
-    /// `par_iter` for shared slices, delegating to the ordinary iterator.
+    /// `par_iter` for shared slices.
     pub trait IntoParallelRefIterator<'data> {
-        /// The iterator type produced.
-        type Iter: Iterator;
-        /// Returns a (here: sequential) iterator over `&self`'s elements.
-        fn par_iter(&'data self) -> Self::Iter;
+        /// The element type iterated over.
+        type Item: Sync + 'data;
+        /// Returns a parallel iterator over `&self`'s elements.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
     }
 
     impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { slice: self }
         }
     }
 
     impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    /// A borrowing parallel iterator over a slice.
+    pub struct ParIter<'data, T: Sync> {
+        slice: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        /// Maps each element through `map_op` (applied in parallel).
+        pub fn map<R, F>(self, map_op: F) -> ParMap<'data, T, F>
+        where
+            F: Fn(&'data T) -> R + Sync,
+            R: Send,
+        {
+            ParMap {
+                slice: self.slice,
+                map_op,
+            }
+        }
+    }
+
+    /// A mapped parallel iterator; `collect` runs the map on the pool.
+    pub struct ParMap<'data, T: Sync, F> {
+        slice: &'data [T],
+        map_op: F,
+    }
+
+    impl<'data, T: Sync, F> ParMap<'data, T, F> {
+        /// Computes all mapped values in parallel (order-preserving) and
+        /// collects them.
+        pub fn collect<R, C>(self) -> C
+        where
+            F: Fn(&'data T) -> R + Sync,
+            R: Send,
+            C: FromIterator<R>,
+        {
+            let ParMap { slice, map_op } = self;
+            wsm_pool::par_map(slice, map_op).into_iter().collect()
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     #[test]
     fn join_returns_both_results() {
         let (a, b) = super::join(|| 1 + 1, || "x".to_string());
@@ -61,5 +111,34 @@ mod tests {
         let v = vec![1, 2, 3];
         let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_iter_collect_preserves_order_on_large_input() {
+        use super::prelude::*;
+        let v: Vec<u64> = (0..50_000).collect();
+        let plus_one: Vec<u64> = v.par_iter().map(|x| x + 1).collect();
+        assert_eq!(plus_one, (1..=50_000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_iter_results_may_borrow_through_elements() {
+        use super::prelude::*;
+        let owners: Vec<String> = (0..300).map(|i| format!("s{i}")).collect();
+        let views: Vec<&str> = owners.par_iter().map(|s| s.as_str()).collect();
+        assert_eq!(views[299], "s299");
+    }
+
+    #[test]
+    fn scope_spawn_is_reexported() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..5 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
     }
 }
