@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! harness [e1|e3|e4|e6|e7|e8|e10|e12|e13|e14|e15|all] [--small] [--threads N]
+//! harness [e1|e3|e4|e6|e7|e8|e10|e12|e13|e14|e15|e16|all] [--small] [--threads N]
 //! ```
 //! With no experiment argument, all experiments run at their default
 //! (paper-shaped) sizes; `--small` shrinks them for a quick smoke run.
@@ -27,6 +27,9 @@ struct Sizes {
     scale_tree_n: usize,
     scale_map_ops: usize,
     scale_reps: usize,
+    /// E16 input sizes: cached pages and requests per serving thread.
+    hot_pages: u64,
+    hot_requests: usize,
 }
 
 /// Runs `f` on the dedicated pool when `--threads` was given, otherwise
@@ -73,6 +76,8 @@ fn main() {
             scale_tree_n: 1 << 12,
             scale_map_ops: 1 << 11,
             scale_reps: 2,
+            hot_pages: 1 << 12,
+            hot_requests: 1 << 12,
         }
     } else {
         Sizes {
@@ -83,6 +88,8 @@ fn main() {
             scale_tree_n: 1 << 16,
             scale_map_ops: 1 << 14,
             scale_reps: 3,
+            hot_pages: 1 << 14,
+            hot_requests: 20_000,
         }
     };
 
@@ -189,6 +196,18 @@ fn main() {
             threads,
         );
     }
+    if run("e16") {
+        // E16 spawns its own OS threads and a dedicated pool, like E15.
+        let t = threads.unwrap_or(4).max(1);
+        let rows =
+            bench::experiment_hot_paths(sizes.hot_pages, sizes.hot_requests, t, sizes.scale_reps);
+        emit(
+            "e16",
+            "E16: hot-path constant factors (ConcurrentMap vs coarse-locked AVL, inline-threshold sweep, W/W_L)",
+            &rows,
+            threads,
+        );
+    }
     if run("e15") {
         // E15 manages its own pools (one per swept worker count), so it runs
         // outside the `in_pool` wrapper.
@@ -261,6 +280,8 @@ fn parse_positive(flag: &str, value: &str) -> usize {
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("harness: {msg}");
-    eprintln!("usage: harness [e1|e3|e4|e6|e7|e8|e10|e12|e13|e14|e15|all] [--small] [--threads N]");
+    eprintln!(
+        "usage: harness [e1|e3|e4|e6|e7|e8|e10|e12|e13|e14|e15|e16|all] [--small] [--threads N]"
+    );
     std::process::exit(2);
 }

@@ -575,6 +575,168 @@ pub fn experiment_scaling(
     rows
 }
 
+/// E16: hot-path constant factors — wall-clock and analytic overheads of the
+/// flat-combining `ConcurrentMap` against a coarse-locked AVL on the
+/// web-cache workload, plus the `tcost::batch_op` / `W_L` constants the
+/// ROADMAP tracks.
+///
+/// Three row families:
+///
+/// * `web-cache avl` — the coarse-locked AVL baseline: `threads` OS threads
+///   serving Zipfian page lookups through one mutex (mean ns/op and
+///   comparison work per request);
+/// * `web-cache map inline=T` — the implicitly batched working-set map on
+///   the same stream with the small-batch inline threshold pinned to `T`
+///   (`0` disables the fast path, reproducing the pre-inline behaviour, so
+///   the `inline=0` row *is* the old-regime baseline the ROADMAP's 100x gap
+///   was measured against);
+/// * `constants` — thread-independent analytic constant factors: effective
+///   work of M1/M2 over `W_L` on the Zipf stream, and the
+///   `tcost::batch_op(b, n)` charge per `b·(log n + 1)` unit.
+///
+/// Wall-clock rows are meaningful on a multi-core runner; the constants rows
+/// are exact everywhere.  Results are persisted to `BENCH_e16.json` so the
+/// 100x / 5x numbers from the ROADMAP become tracked regressions.
+pub fn experiment_hot_paths(
+    pages: u64,
+    requests_per_worker: usize,
+    threads: usize,
+    reps: usize,
+) -> Vec<Row> {
+    use std::sync::{Arc, Mutex};
+    use std::time::Instant;
+    use wsm_core::ConcurrentMap;
+    use wsm_twothree::cost as tcost;
+
+    let threads = threads.max(1);
+    let reps = reps.max(1);
+    let streams: Vec<Vec<u64>> = (0..threads)
+        .map(|w| {
+            WorkloadSpec::read_only(pages, requests_per_worker, Pattern::Zipf(1.1), w as u64)
+                .access_phase()
+                .iter()
+                .map(|op| *op.key())
+                .collect()
+        })
+        .collect();
+    // Both sides serve the identical request mix: every page is searched
+    // and every `page % 97 == 0` hit additionally refreshes (inserts) the
+    // page, exactly as in the `web_cache` example.
+    let total_ops: u64 = (threads * requests_per_worker) as u64
+        + streams
+            .iter()
+            .flatten()
+            .filter(|&&page| page % 97 == 0)
+            .count() as u64;
+    let mut rows = Vec::new();
+
+    // --- coarse-locked AVL baseline -------------------------------------
+    let mut avl = AvlMap::new();
+    for p in 0..pages {
+        avl.insert_item(p, p);
+    }
+    let avl = Arc::new(Mutex::new(avl));
+    let mut avl_total_ns = 0.0;
+    let mut avl_work = 0u64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let work: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = streams
+                .iter()
+                .map(|stream| {
+                    let avl = Arc::clone(&avl);
+                    s.spawn(move || {
+                        let mut work = 0u64;
+                        for page in stream {
+                            let mut guard = avl.lock().unwrap_or_else(|e| e.into_inner());
+                            let (_, c) = guard.search(page);
+                            work += c.work;
+                            if page % 97 == 0 {
+                                let (_, c) = guard.insert(*page, page + 1);
+                                work += c.work;
+                            }
+                        }
+                        work
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        avl_total_ns += start.elapsed().as_nanos() as f64;
+        avl_work = work;
+    }
+    let avl_ns_op = avl_total_ns / (reps as u64 * total_ops) as f64;
+    rows.push(Row::new(
+        format!("web-cache avl t={threads}"),
+        vec![
+            ("mean ns/op", avl_ns_op),
+            ("wall vs avl", 1.0),
+            ("work/req", avl_work as f64 / total_ops as f64),
+        ],
+    ));
+
+    // --- implicitly batched map, swept over the inline threshold ---------
+    let pool = Arc::new(wsm_pool::ThreadPool::new(threads));
+    for threshold in [0usize, 8, 64, 256] {
+        let mut total_ns = 0.0;
+        let mut work_per_req = 0.0;
+        for _ in 0..reps {
+            let mut inner = M1::<u64, u64>::new(threads.max(2));
+            inner.run_ops((0..pages).map(|p| Operation::Insert(p, p)).collect());
+            let warm_work = inner.effective_work();
+            let map = Arc::new(
+                ConcurrentMap::with_pool(inner, threads, Arc::clone(&pool))
+                    .with_inline_threshold(threshold),
+            );
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for (w, stream) in streams.iter().enumerate() {
+                    let map = Arc::clone(&map);
+                    s.spawn(move || {
+                        for &page in stream {
+                            map.search(w, page);
+                            if page % 97 == 0 {
+                                map.insert(w, page, page + 1);
+                            }
+                        }
+                    });
+                }
+            });
+            total_ns += start.elapsed().as_nanos() as f64;
+            work_per_req = (map.effective_work() - warm_work) as f64 / total_ops as f64;
+        }
+        let ns_op = total_ns / (reps as u64 * total_ops) as f64;
+        rows.push(Row::new(
+            format!("web-cache map inline={threshold} t={threads}"),
+            vec![
+                ("mean ns/op", ns_op),
+                ("wall vs avl", ns_op / avl_ns_op),
+                ("work/req", work_per_req),
+            ],
+        ));
+    }
+
+    // --- analytic constant factors (thread-independent) ------------------
+    let spec = WorkloadSpec::read_only(pages, requests_per_worker, Pattern::Zipf(1.1), 11);
+    let ops = spec.full_sequence();
+    let wl = working_set_bound(&ops) as f64;
+    let mut m1 = M1::new(4);
+    let w1 = run_batched(&mut m1, &ops, 16).work as f64;
+    let mut m2 = M2::new(4);
+    let w2 = run_batched(&mut m2, &ops, 16).work as f64;
+    let logn = (pages as f64).log2() + 1.0;
+    let batch_unit = tcost::batch_op(64, pages).work as f64 / (64.0 * logn);
+    rows.push(Row::new(
+        "constants (W/W_L, batch_op unit)",
+        vec![
+            ("M1 work/W_L", w1 / wl),
+            ("M2 work/W_L", w2 / wl),
+            ("batch_op/(b·log n)", batch_unit),
+        ],
+    ));
+    rows
+}
+
 /// E14: runtime invariant checking of M1 and M2 over mixed workloads.
 pub fn experiment_invariants(keyspace: u64, operations: usize) -> Vec<Row> {
     let mut spec = WorkloadSpec::read_only(keyspace, operations, Pattern::Zipf(1.0), 7);
@@ -638,6 +800,33 @@ mod tests {
         assert!(
             ratio > 1.5,
             "naive execution should be clearly worse, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn hot_path_experiment_rows_are_well_formed() {
+        let rows = experiment_hot_paths(1 << 9, 1 << 8, 2, 1);
+        // 1 AVL row + 4 threshold rows + 1 constants row.
+        assert_eq!(rows.len(), 6);
+        for row in &rows[..5] {
+            let ns_op = row
+                .values
+                .iter()
+                .find(|(k, _)| k == "mean ns/op")
+                .unwrap()
+                .1;
+            assert!(ns_op > 0.0, "non-positive timing in {}", row.label);
+        }
+        let constants = rows.last().unwrap();
+        let m1_ratio = constants
+            .values
+            .iter()
+            .find(|(k, _)| k == "M1 work/W_L")
+            .unwrap()
+            .1;
+        assert!(
+            m1_ratio > 0.5 && m1_ratio < 100.0,
+            "implausible M1/W_L constant {m1_ratio}"
         );
     }
 

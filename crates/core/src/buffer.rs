@@ -5,22 +5,31 @@
 //! receives the accumulated calls as one input batch.  The paper implements
 //! the buffer as a static balanced tree of per-processor sub-buffers with
 //! test-and-set flags on the internal nodes; here each submitting thread owns
-//! a *shard* (a mutex-protected vector that is effectively uncontended) and
-//! the flush swaps all shards out and concatenates them — the flat-combining
-//! realisation described in DESIGN.md substitution #4.  The analytic cost per
-//! flushed batch of size `b` is `O(p + b)` work and `O(log p + log b)` span,
-//! matching Theorem 26's requirements.
+//! a *shard* realised as a lock-free MPSC publication ring
+//! ([`wsm_sync::MpscShard`]: atomic slot claim + sequence-stamped cells), and
+//! the flush drains all shards in publication order — the flat-combining
+//! realisation described in DESIGN.md substitution #4.  Producers never block
+//! the combiner (and vice versa): a deposit is a tail-CAS plus an uncontended
+//! cell hand-off, and the flush skips at most the one in-flight publication
+//! per shard, which the next flush picks up.  The analytic cost per flushed
+//! batch of size `b` is `O(p + b)` work and `O(log p + log b)` span, matching
+//! Theorem 26's requirements.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use wsm_model::{ceil_log2, Cost};
-use wsm_sync::Activation;
+use wsm_sync::{Activation, MpscShard};
+
+/// Ring capacity per shard: publications held between two flushes without
+/// spilling to a shard's (rare, mutex-protected) overflow list.  The
+/// combiner flushes continuously while calls are outstanding, so in practice
+/// the ring only needs to hold the burst of one activation window.
+const SHARD_RING_CAPACITY: usize = 1024;
 
 /// A sharded buffer of pending calls plus the activation interface used to
 /// wake the data structure when work arrives.
 #[derive(Debug)]
 pub struct ParallelBuffer<T> {
-    shards: Vec<Mutex<Vec<T>>>,
+    shards: Vec<MpscShard<T>>,
     pending: AtomicUsize,
     activation: Activation,
 }
@@ -30,7 +39,9 @@ impl<T> ParallelBuffer<T> {
     pub fn new(shards: usize) -> Self {
         let shards = shards.max(1);
         ParallelBuffer {
-            shards: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            shards: (0..shards)
+                .map(|_| MpscShard::with_capacity(SHARD_RING_CAPACITY))
+                .collect(),
             pending: AtomicUsize::new(0),
             activation: Activation::new(),
         }
@@ -52,22 +63,25 @@ impl<T> ParallelBuffer<T> {
         self.len() == 0
     }
 
-    /// Deposits one call into the shard `shard_hint % shards`.  Constant time;
-    /// uncontended when each thread uses its own hint.
+    /// Deposits one call into the shard `shard_hint % shards`.  Constant time
+    /// and lock-free; uncontended when each thread uses its own hint.
     pub fn push(&self, shard_hint: usize, item: T) {
         let shard = &self.shards[shard_hint % self.shards.len()];
-        shard.lock().push(item);
+        shard.publish(item);
         self.pending.fetch_add(1, Ordering::AcqRel);
     }
 
-    /// Deposits a pre-built batch of calls into one shard.
+    /// Deposits a pre-built batch of calls into one shard, preserving the
+    /// batch's order.
     pub fn push_batch(&self, shard_hint: usize, items: Vec<T>) {
         if items.is_empty() {
             return;
         }
         let shard = &self.shards[shard_hint % self.shards.len()];
         let n = items.len();
-        shard.lock().extend(items);
+        for item in items {
+            shard.publish(item);
+        }
         self.pending.fetch_add(n, Ordering::AcqRel);
     }
 
@@ -75,15 +89,20 @@ impl<T> ParallelBuffer<T> {
     /// analytic cost of the flush (`O(p + b)` work, `O(log p + log b)` span).
     pub fn flush(&self) -> (Vec<T>, Cost) {
         let mut out = Vec::new();
-        for shard in &self.shards {
-            let mut guard = shard.lock();
-            if !guard.is_empty() {
-                out.append(&mut guard);
-            }
-        }
-        self.pending.fetch_sub(out.len(), Ordering::AcqRel);
-        let cost = Self::flush_cost(self.shards.len() as u64, out.len() as u64);
+        let cost = self.flush_into(&mut out);
         (out, cost)
+    }
+
+    /// Like [`ParallelBuffer::flush`], but appends into a caller-provided
+    /// buffer (so a combiner draining in a loop reuses one allocation).
+    pub fn flush_into(&self, out: &mut Vec<T>) -> Cost {
+        let before = out.len();
+        for shard in &self.shards {
+            shard.drain_into(out);
+        }
+        let drained = out.len() - before;
+        self.pending.fetch_sub(drained, Ordering::AcqRel);
+        Self::flush_cost(self.shards.len() as u64, drained as u64)
     }
 
     /// The analytic flush cost for `p` shards and a batch of `b` operations.
@@ -127,11 +146,13 @@ mod tests {
     }
 
     #[test]
-    fn push_batch_counts_items() {
+    fn push_batch_counts_items_and_keeps_order() {
         let buf: ParallelBuffer<u64> = ParallelBuffer::new(2);
         buf.push_batch(0, vec![1, 2, 3]);
         buf.push_batch(1, Vec::new());
         assert_eq!(buf.len(), 3);
+        let (items, _) = buf.flush();
+        assert_eq!(items, vec![1, 2, 3]);
     }
 
     #[test]
@@ -140,6 +161,21 @@ mod tests {
         let c = ParallelBuffer::<u64>::flush_cost(64, 1 << 16);
         assert!(c.work >= (1 << 16) + 64);
         assert!(c.span <= 26);
+    }
+
+    #[test]
+    fn overflowing_a_shard_ring_loses_nothing() {
+        // Everything lands in one shard and far exceeds its ring capacity, so
+        // the overflow path must carry the excess in order.
+        let buf: ParallelBuffer<u64> = ParallelBuffer::new(1);
+        let n = 3 * SHARD_RING_CAPACITY as u64;
+        for i in 0..n {
+            buf.push(0, i);
+        }
+        assert_eq!(buf.len(), n as usize);
+        let (items, _) = buf.flush();
+        assert_eq!(items, (0..n).collect::<Vec<_>>());
+        assert!(buf.is_empty());
     }
 
     #[test]
@@ -163,6 +199,39 @@ mod tests {
         let (items, _) = buf.flush();
         assert_eq!(items.len(), (threads as u64 * per_thread) as usize);
         let distinct: std::collections::BTreeSet<u64> = items.into_iter().collect();
+        assert_eq!(distinct.len(), (threads as u64 * per_thread) as usize);
+    }
+
+    #[test]
+    fn concurrent_pushes_with_concurrent_flushes() {
+        // Producers race a flushing combiner; across all flushes every item
+        // must appear exactly once.
+        let buf: Arc<ParallelBuffer<u64>> = Arc::new(ParallelBuffer::new(4));
+        let threads = 4;
+        let per_thread = 5_000u64;
+        let producers: Vec<_> = (0..threads)
+            .map(|t| {
+                let buf = Arc::clone(&buf);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        buf.push(t, t as u64 * per_thread + i);
+                    }
+                })
+            })
+            .collect();
+        let mut collected = Vec::new();
+        loop {
+            let (items, _) = buf.flush();
+            collected.extend(items);
+            if collected.len() as u64 == threads as u64 * per_thread {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        for h in producers {
+            h.join().unwrap();
+        }
+        let distinct: std::collections::BTreeSet<u64> = collected.iter().copied().collect();
         assert_eq!(distinct.len(), (threads as u64 * per_thread) as usize);
     }
 

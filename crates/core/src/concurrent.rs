@@ -21,10 +21,17 @@
 //!   combiner observing an empty buffer and exiting just as a new operation
 //!   lands): the ring that follows every activation guarantees somebody
 //!   re-checks.
-//! * **Pool-driven batches.**  The combiner executes `run_batch` inside the
-//!   work-stealing pool (`wsm_pool`), so the parallel recursions inside the
-//!   batched map (PESort, 2-3 tree batch splits) actually fan out across
-//!   workers instead of running on the lone combiner thread.
+//! * **Pool-driven batches, with a small-batch inline fast path.**  The
+//!   combiner executes large batches inside the work-stealing pool
+//!   (`wsm_pool`), so the parallel recursions inside the batched map (PESort,
+//!   2-3 tree batch splits) actually fan out across workers.  Batches at or
+//!   below a tunable threshold (env `WSM_INLINE_BATCH`, default
+//!   [`DEFAULT_INLINE_BATCH`]; see [`ConcurrentMap::with_inline_threshold`])
+//!   run directly on the combiner thread instead: a tiny batch has no
+//!   internal parallelism to exploit, and the ship-to-pool round trip
+//!   (enqueue, wake a worker, park, hand back) costs far more than the batch
+//!   itself.  This is the single biggest constant-factor lever for
+//!   low-concurrency callers — see experiment E16.
 //!
 //! One usage rule follows from the pool dispatch: do not call the map from
 //! *inside* a pool task (`wsm_pool::join`/`scope` closures) — map calls block
@@ -63,27 +70,36 @@ impl<V> ResultSlot<V> {
 /// makes lost wake-ups impossible: any activation that could have consumed a
 /// waiter's operation (or raced with its activation attempt) finishes with a
 /// ring that happens after the waiter captured its generation.
+///
+/// The generation itself is an atomic so the caller-side fast path
+/// ([`Doorbell::current`]) is a plain load; the mutex exists only to pair
+/// sleeps with rings (the ring bumps the generation *under the mutex*, which
+/// is what makes a concurrent `wait_past` either see the new generation or
+/// get the notification).
 #[derive(Default)]
 struct Doorbell {
-    generation: Mutex<u64>,
+    generation: std::sync::atomic::AtomicU64,
+    gate: Mutex<()>,
     cv: Condvar,
 }
 
 impl Doorbell {
     fn current(&self) -> u64 {
-        *self.generation.lock()
+        self.generation.load(std::sync::atomic::Ordering::Acquire)
     }
 
     fn ring(&self) {
-        let mut generation = self.generation.lock();
-        *generation = generation.wrapping_add(1);
+        let gate = self.gate.lock();
+        self.generation
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        drop(gate);
         self.cv.notify_all();
     }
 
     fn wait_past(&self, seen: u64) {
-        let mut generation = self.generation.lock();
-        while *generation == seen {
-            self.cv.wait(&mut generation);
+        let mut gate = self.gate.lock();
+        while self.current() == seen {
+            self.cv.wait(&mut gate);
         }
     }
 }
@@ -91,6 +107,46 @@ impl Doorbell {
 struct Pending<K, V> {
     op: Operation<K, V>,
     slot: Arc<ResultSlot<V>>,
+}
+
+/// Default inline-batch threshold: batches of at most this many operations
+/// run on the combiner thread instead of being shipped to the pool.  Chosen
+/// by the E16 threshold sweep (`harness e16`); override per process with
+/// `WSM_INLINE_BATCH=n` or per map with
+/// [`ConcurrentMap::with_inline_threshold`].
+pub const DEFAULT_INLINE_BATCH: usize = 64;
+
+/// Default for how many yield-and-recheck rounds a waiting caller performs
+/// before parking on the doorbell.  A combiner cycle for a small batch
+/// completes in a few microseconds — comparable to a futex sleep/wake round
+/// trip — so a few yields usually deliver the result without a park; large
+/// values only burn sched_yield calls.  Override with `WSM_SPIN_WAIT`.
+pub const DEFAULT_SPIN_WAIT: u32 = 4;
+
+/// The process-wide spin count: `WSM_SPIN_WAIT` or [`DEFAULT_SPIN_WAIT`].
+fn spin_wait_from_env() -> u32 {
+    std::env::var("WSM_SPIN_WAIT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SPIN_WAIT)
+}
+
+/// The process-wide inline threshold: `WSM_INLINE_BATCH` if set to a valid
+/// number (0 disables the fast path entirely), otherwise
+/// [`DEFAULT_INLINE_BATCH`].
+fn inline_threshold_from_env() -> usize {
+    std::env::var("WSM_INLINE_BATCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_INLINE_BATCH)
+}
+
+/// Reusable combiner-side buffers.  Only the thread holding the buffer's
+/// activation touches these, so the mutex is uncontended by construction —
+/// it exists to keep the map `Sync` without `unsafe`.
+struct CombineScratch<K, V> {
+    pending: Vec<Pending<K, V>>,
+    slots: Vec<Arc<ResultSlot<V>>>,
 }
 
 /// A concurrent map front-end that implicitly batches calls from many threads
@@ -101,10 +157,16 @@ struct Pending<K, V> {
 pub struct ConcurrentMap<K, V, M> {
     buffer: ParallelBuffer<Pending<K, V>>,
     inner: Mutex<M>,
+    scratch: Mutex<CombineScratch<K, V>>,
     doorbell: Doorbell,
     /// When set, batches run on this dedicated pool instead of the global
     /// one (used by the E15 scaling experiment to pin the worker count).
     pool: Option<Arc<wsm_pool::ThreadPool>>,
+    /// Batches of at most this many operations run inline on the combiner
+    /// thread instead of round-tripping through the pool.
+    inline_threshold: usize,
+    /// Yield-and-recheck rounds before a waiting caller parks.
+    spin_wait: u32,
 }
 
 impl<K, V, M> ConcurrentMap<K, V, M>
@@ -129,9 +191,31 @@ where
         ConcurrentMap {
             buffer: ParallelBuffer::new(shards),
             inner: Mutex::new(inner),
+            scratch: Mutex::new(CombineScratch {
+                pending: Vec::new(),
+                slots: Vec::new(),
+            }),
             doorbell: Doorbell::default(),
             pool,
+            inline_threshold: inline_threshold_from_env(),
+            spin_wait: spin_wait_from_env(),
         }
+    }
+
+    /// Overrides the inline-batch threshold for this map: batches of at most
+    /// `threshold` operations execute on the combiner thread, larger ones on
+    /// the pool.  `0` disables the fast path (every batch goes to the pool);
+    /// `usize::MAX` forces every batch inline.  The default comes from
+    /// `WSM_INLINE_BATCH` / [`DEFAULT_INLINE_BATCH`].
+    #[must_use]
+    pub fn with_inline_threshold(mut self, threshold: usize) -> Self {
+        self.inline_threshold = threshold;
+        self
+    }
+
+    /// The current inline-batch threshold.
+    pub fn inline_threshold(&self) -> usize {
+        self.inline_threshold
     }
 
     /// Consumes the wrapper, returning the underlying batched map.
@@ -213,17 +297,36 @@ where
                 },
             );
             if runs > 0 {
-                // We held the activation: hand off to every caller whose
-                // result a combine run delivered, and to anyone whose
-                // activation attempt we beat.
+                // Ring once more *after releasing* the activation: anyone
+                // whose activation attempt we beat re-checks against a
+                // released interface, which closes the hand-off race.
                 self.doorbell.ring();
             }
             if let Some(r) = slot.try_take() {
                 return r;
             }
-            // Another thread holds the combiner role; park until the next
-            // hand-off, then re-check / re-attempt.
-            self.doorbell.wait_past(seen);
+            // Another thread holds the combiner role.  Spin briefly before
+            // parking: with small batches the combiner's whole cycle is
+            // shorter than a futex sleep/wake round trip, so most results
+            // arrive within a few yields.  The yield also donates the CPU to
+            // the combiner on oversubscribed machines.
+            let mut delivered = false;
+            for _ in 0..self.spin_wait {
+                std::thread::yield_now();
+                if let Some(r) = slot.try_take() {
+                    return r;
+                }
+                if self.doorbell.current() != seen {
+                    // A hand-off happened; re-attempt the activation rather
+                    // than parking on a generation that already passed.
+                    delivered = true;
+                    break;
+                }
+            }
+            if !delivered {
+                // Park until the next hand-off, then re-check / re-attempt.
+                self.doorbell.wait_past(seen);
+            }
         }
     }
 
@@ -231,13 +334,20 @@ where
     /// underlying map (inside the work-stealing pool, so the batch's internal
     /// parallelism fans out), delivering each result to its caller.
     fn combine(&self) {
-        let (pending, _cost) = self.buffer.flush();
+        // Uncontended by construction: only the activation holder combines.
+        let mut scratch = self.scratch.lock();
+        let CombineScratch { pending, slots } = &mut *scratch;
+        // Clear rather than assert empty: if a previous combine unwound out
+        // of `run_batch`, stale slots must not poison every later combine
+        // (that batch's callers are lost either way).
+        pending.clear();
+        slots.clear();
+        let _cost = self.buffer.flush_into(pending);
         if pending.is_empty() {
             return;
         }
-        let mut slots: Vec<Arc<ResultSlot<V>>> = Vec::with_capacity(pending.len());
         let batch: Vec<TaggedOp<K, V>> = pending
-            .into_iter()
+            .drain(..)
             .enumerate()
             .map(|(i, p)| {
                 slots.push(p.slot);
@@ -249,14 +359,21 @@ where
             .collect();
         let mut inner = self.inner.lock();
         let map: &mut M = &mut inner;
-        let (results, _cost) = match &self.pool {
-            Some(pool) => pool.install(move || map.run_batch(batch)),
-            None => wsm_pool::run(move || map.run_batch(batch)),
+        // Small batches have no internal parallelism worth a pool round trip;
+        // run them right here on the combiner thread.
+        let (results, _cost) = if batch.len() <= self.inline_threshold {
+            map.run_batch(batch)
+        } else {
+            match &self.pool {
+                Some(pool) => pool.install(move || map.run_batch(batch)),
+                None => wsm_pool::run(move || map.run_batch(batch)),
+            }
         };
         drop(inner);
         for (id, result) in results {
             slots[id as usize].fill(result);
         }
+        slots.clear();
     }
 }
 
@@ -298,6 +415,50 @@ mod tests {
             assert_eq!(map.search(0, k), Some(k + 1));
         }
         assert_eq!(map.len(), 500);
+    }
+
+    #[test]
+    fn inline_and_pooled_paths_agree() {
+        // Force every batch down each path in turn; results must match.
+        for threshold in [0usize, usize::MAX] {
+            let map =
+                ConcurrentMap::new(M1::<u64, u64>::new(4), 4).with_inline_threshold(threshold);
+            assert_eq!(map.inline_threshold(), threshold);
+            for k in 0..200u64 {
+                assert_eq!(map.insert(0, k, k * 3), None);
+            }
+            for k in 0..200u64 {
+                assert_eq!(map.search(0, k), Some(k * 3));
+            }
+            assert_eq!(map.delete(0, 7), Some(21));
+            assert_eq!(map.search(0, 7), None);
+            assert_eq!(map.len(), 199);
+        }
+    }
+
+    #[test]
+    fn inline_path_under_contention() {
+        let map = Arc::new(
+            ConcurrentMap::new(M1::<u64, u64>::new(8), 8).with_inline_threshold(usize::MAX),
+        );
+        let threads = 8u64;
+        let per = 1_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let map = Arc::clone(&map);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        let key = t * per + i;
+                        assert_eq!(map.insert(t as usize, key, key + 1), None);
+                        assert_eq!(map.search(t as usize, key), Some(key + 1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(map.len(), (threads * per) as usize);
     }
 
     #[test]

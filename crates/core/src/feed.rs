@@ -47,12 +47,18 @@ impl<T> Bunch<T> {
 
     /// Converts the bunch into a single batch; `O(b)` work, `O(log b)` span
     /// (returned as the second component).
-    pub fn into_batch(self) -> (Vec<T>, Cost) {
+    pub fn into_batch(mut self) -> (Vec<T>, Cost) {
         let b = self.len as u64;
-        let mut out = Vec::with_capacity(self.len);
-        for batch in self.batches {
-            out.extend(batch);
-        }
+        let out = if self.batches.len() == 1 {
+            // The common single-input case: hand the batch back as-is.
+            self.batches.pop().expect("one batch")
+        } else {
+            let mut out = Vec::with_capacity(self.len);
+            for batch in self.batches {
+                out.extend(batch);
+            }
+            out
+        };
         let span = u64::from(ceil_log2(b + 1)) + 1;
         let cost = Cost::new(b.max(span), span);
         (out, cost)
@@ -147,7 +153,11 @@ impl<T> FeedBuffer<T> {
             };
             let (batch, c) = bunch.into_batch();
             cost = cost.par(c);
-            out.extend(batch);
+            if out.is_empty() {
+                out = batch; // common case: one bunch, no copy
+            } else {
+                out.extend(batch);
+            }
         }
         self.len -= out.len();
         // Merging `count` converted bunches is a parallel concatenation.

@@ -39,7 +39,7 @@ pub mod m2;
 pub mod ops;
 
 pub use buffer::ParallelBuffer;
-pub use concurrent::ConcurrentMap;
+pub use concurrent::{ConcurrentMap, DEFAULT_INLINE_BATCH};
 pub use feed::{Bunch, FeedBuffer};
 pub use m1::M1;
 pub use m2::M2;

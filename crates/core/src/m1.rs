@@ -22,7 +22,7 @@ use crate::feed::FeedBuffer;
 use crate::ops::{BatchedMap, GroupOp, OpId, OpResult, Operation, TaggedOp};
 use wsm_model::{ceil_log2, Cost, CostMeter};
 use wsm_seq::segment_capacity;
-use wsm_sort::pesort_group;
+use wsm_sort::{pesort_group_into, GroupedBatch, SortScratch};
 use wsm_twothree::{cost as tcost, RecencyMap};
 
 /// Statistics recorded for every cut batch M1 processes.
@@ -47,6 +47,15 @@ pub struct M1<K, V> {
     meter: CostMeter,
     next_id: OpId,
     batch_log: Vec<BatchStats>,
+    /// Reusable sort/group buffers: after the first few batches the
+    /// sort-and-combine step allocates nothing (see `pesort_group_into`).
+    key_buf: Vec<K>,
+    scratch: SortScratch,
+    grouped: GroupedBatch<K>,
+    /// Recycled group-op machinery: the group vector and the per-group
+    /// member vectors live across batches instead of being reallocated.
+    groups_buf: Vec<GroupOp<K, V>>,
+    ops_pool: Vec<Vec<TaggedOp<K, V>>>,
 }
 
 impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
@@ -63,6 +72,11 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
             meter: CostMeter::new(),
             next_id: 0,
             batch_log: Vec::new(),
+            key_buf: Vec::new(),
+            scratch: SortScratch::default(),
+            grouped: GroupedBatch::default(),
+            groups_buf: Vec::new(),
+            ops_pool: Vec::new(),
         }
     }
 
@@ -141,12 +155,13 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
         }
         let (batch, form_cost) = self.feed.pop_cut_batch(self.cut_bunch_count());
         let stats_before = self.size;
-        let (results, mut cost) = self.process_cut_batch(batch.clone());
+        let batch_size = batch.len();
+        let (results, mut cost) = self.process_cut_batch(batch);
         cost = form_cost.then(cost);
         self.meter.charge_in_batch(cost);
         self.meter.end_batch();
         self.batch_log.push(BatchStats {
-            batch_size: batch.len(),
+            batch_size,
             map_size_before: stats_before,
             cost,
         });
@@ -175,63 +190,83 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
         let mut cost = Cost::ZERO;
 
         // Entropy-sort the batch by key and combine duplicates into
-        // group-operations.
-        let keys: Vec<K> = batch.iter().map(|t| t.op.key().clone()).collect();
-        let (grouped, sort_cost) = pesort_group(&keys);
-        cost += sort_cost;
-        let mut groups: Vec<GroupOp<K, V>> = grouped
-            .into_iter()
-            .map(|(key, idxs)| GroupOp {
-                key,
-                ops: idxs.iter().map(|&i| batch[i].clone()).collect(),
-            })
-            .collect();
+        // group-operations, through the reusable scratch buffers.
+        self.key_buf.clear();
+        self.key_buf
+            .extend(batch.iter().map(|t| t.op.key().clone()));
+        cost += pesort_group_into(&self.key_buf, &mut self.scratch, &mut self.grouped);
+        let mut groups: Vec<GroupOp<K, V>> = std::mem::take(&mut self.groups_buf);
+        debug_assert!(groups.is_empty());
+        for (key, idxs) in self.grouped.iter() {
+            let mut ops = self.ops_pool.pop().unwrap_or_default();
+            ops.extend(idxs.iter().map(|&i| batch[i as usize].clone()));
+            groups.push(GroupOp {
+                key: key.clone(),
+                ops,
+            });
+        }
 
         let mut results: Vec<(OpId, OpResult<V>)> = Vec::with_capacity(b);
 
-        // Pass the group-operations through the segments.
+        // Pass the group-operations through the segments.  `key_buf` (free
+        // again after the grouping above) carries the surviving keys, and
+        // resolved groups are compacted out of `groups` in place, so the
+        // cascade allocates no per-segment vectors.
         let mut k = 0;
         while k < self.segments.len() && !groups.is_empty() {
             let seg_len = self.segments[k].len() as u64;
-            let keys_sorted: Vec<K> = groups.iter().map(|g| g.key.clone()).collect();
-            let removed = self.segments[k].remove_batch(&keys_sorted);
-            cost += tcost::batch_op(keys_sorted.len() as u64, seg_len);
+            self.key_buf.clear();
+            self.key_buf.extend(groups.iter().map(|g| g.key.clone()));
+            let removed = self.segments[k].remove_batch(&self.key_buf);
+            cost += tcost::batch_op(self.key_buf.len() as u64, seg_len);
 
             let mut shift: Vec<(K, V)> = Vec::new();
-            let mut remaining: Vec<GroupOp<K, V>> = Vec::new();
-            for (group, found) in groups.into_iter().zip(removed) {
+            let mut write = 0;
+            for (read, found) in removed.into_iter().enumerate() {
                 match found {
                     Some(v) => {
+                        let group = &mut groups[read];
                         let (rs, fin) = group.resolve(Some(v));
                         results.extend(rs);
                         match fin {
                             Some(v2) => shift.push((group.key.clone(), v2)),
                             None => self.size -= 1,
                         }
+                        let mut ops = std::mem::take(&mut group.ops);
+                        ops.clear();
+                        self.ops_pool.push(ops);
                     }
-                    None => remaining.push(group),
+                    None => {
+                        groups.swap(write, read);
+                        write += 1;
+                    }
                 }
             }
+            groups.truncate(write);
             let dest = k.saturating_sub(1);
             if !shift.is_empty() {
                 cost += tcost::batch_op(shift.len() as u64, self.segments[dest].len() as u64);
                 self.segments[dest].insert_front_batch(shift);
             }
             cost += self.restore_prefixes(k);
-            groups = remaining;
             k += 1;
         }
 
         // Remaining groups reached the end of the structure: they resolve
         // against an absent item; net insertions go to the back.
         let mut inserts: Vec<(K, V)> = Vec::new();
-        for group in groups {
+        for group in &mut groups {
             let (rs, fin) = group.resolve(None);
             results.extend(rs);
             if let Some(v) = fin {
                 inserts.push((group.key.clone(), v));
             }
+            let mut ops = std::mem::take(&mut group.ops);
+            ops.clear();
+            self.ops_pool.push(ops);
         }
+        groups.clear();
+        self.groups_buf = groups;
         if !inserts.is_empty() {
             cost += self.append_inserts(inserts);
         }

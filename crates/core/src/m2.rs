@@ -26,7 +26,7 @@ use crate::ops::{BatchedMap, GroupOp, OpId, OpResult, Operation, TaggedOp};
 use std::collections::VecDeque;
 use wsm_model::{ceil_log2, Cost, CostMeter};
 use wsm_seq::segment_capacity;
-use wsm_sort::pesort_group;
+use wsm_sort::{pesort_group_into, GroupedBatch, SortScratch};
 use wsm_twothree::{cost as tcost, RecencyMap, Tree23};
 
 /// Latency record for one operation: virtual submit and finish times in the
@@ -91,6 +91,11 @@ pub struct M2<K, V> {
     /// Virtual submit time of every pending operation.
     submit_times: Vec<(OpId, u64)>,
     latencies: Vec<LatencyRecord>,
+    /// Reusable sort/group buffers: after the first few batches the
+    /// sort-and-combine step allocates nothing (see `pesort_group_into`).
+    key_buf: Vec<K>,
+    scratch: SortScratch,
+    grouped: GroupedBatch<K>,
 }
 
 impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
@@ -117,6 +122,9 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
             segment_clocks: Vec::new(),
             submit_times: Vec::new(),
             latencies: Vec::new(),
+            key_buf: Vec::new(),
+            scratch: SortScratch::default(),
+            grouped: GroupedBatch::default(),
         }
     }
 
@@ -309,15 +317,18 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
         if batch.is_empty() {
             return;
         }
-        // Step 2: entropy-sort and combine duplicates.
-        let keys: Vec<K> = batch.iter().map(|t| t.op.key().clone()).collect();
-        let (grouped, sort_cost) = pesort_group(&keys);
-        cost += sort_cost;
-        let mut groups: Vec<GroupOp<K, V>> = grouped
-            .into_iter()
+        // Step 2: entropy-sort and combine duplicates, through the reusable
+        // scratch buffers.
+        self.key_buf.clear();
+        self.key_buf
+            .extend(batch.iter().map(|t| t.op.key().clone()));
+        cost += pesort_group_into(&self.key_buf, &mut self.scratch, &mut self.grouped);
+        let mut groups: Vec<GroupOp<K, V>> = self
+            .grouped
+            .iter()
             .map(|(key, idxs)| GroupOp {
-                key,
-                ops: idxs.iter().map(|&i| batch[i].clone()).collect(),
+                key: key.clone(),
+                ops: idxs.iter().map(|&i| batch[i as usize].clone()).collect(),
             })
             .collect();
 
@@ -327,9 +338,10 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
         let mut k = 0;
         while k < first_slab_end && !groups.is_empty() {
             let seg_len = self.segments[k].len() as u64;
-            let keys_sorted: Vec<K> = groups.iter().map(|g| g.key.clone()).collect();
-            let removed = self.segments[k].remove_batch(&keys_sorted);
-            cost += tcost::batch_op(keys_sorted.len() as u64, seg_len);
+            self.key_buf.clear();
+            self.key_buf.extend(groups.iter().map(|g| g.key.clone()));
+            let removed = self.segments[k].remove_batch(&self.key_buf);
+            cost += tcost::batch_op(self.key_buf.len() as u64, seg_len);
             let mut shift: Vec<(K, V)> = Vec::new();
             let mut remaining: Vec<GroupOp<K, V>> = Vec::new();
             for (group, found) in groups.into_iter().zip(removed) {

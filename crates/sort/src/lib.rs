@@ -29,7 +29,9 @@ pub mod pesort;
 pub mod ppivot;
 
 pub use esort::{esort, esort_group};
-pub use pesort::{pesort, pesort_by, pesort_group, SortStats};
+pub use pesort::{
+    pesort, pesort_by, pesort_group, pesort_group_into, GroupedBatch, SortScratch, SortStats,
+};
 pub use ppivot::ppivot;
 
 #[cfg(test)]

@@ -16,6 +16,11 @@
 //!   attempt to acquire it at the same time or later (the release scans the
 //!   key slots cyclically).
 //!
+//! Beyond the paper's three primitives, [`MpscShard`] provides the lock-free
+//! multi-producer/single-consumer publication cell used by the parallel
+//! buffer's shards (atomic slot claim + sequence-stamped hand-off), so
+//! producers depositing calls never block the combiner.
+//!
 //! M2 uses dedicated locks as its *neighbour-locks* and *front-locks*
 //! (Section 7.1, Figures 2 and 3) and activation interfaces for its segment
 //! and interface processes.  The implementations here run on real atomics and
@@ -29,8 +34,10 @@
 
 pub mod activation;
 pub mod dedicated;
+pub mod mpsc;
 pub mod trylock;
 
 pub use activation::Activation;
 pub use dedicated::{DedicatedGuard, DedicatedLock};
+pub use mpsc::MpscShard;
 pub use trylock::{NonBlockingLock, TryLockGuard};

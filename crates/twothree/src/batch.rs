@@ -14,6 +14,15 @@ use crate::tree::Tree23;
 /// Minimum batch size before the parallel variants split work across rayon.
 pub const PAR_GRAIN: usize = 256;
 
+/// Batches at or below this size are executed as a loop of in-place point
+/// operations instead of the divide-and-conquer split/join recursion.  Both
+/// cost `Θ(b log n)` work, but the point loop touches only the search paths
+/// and allocates only on actual node splits, where split/join rebuilds (and
+/// reallocates) entire spines — a large constant factor on the small batches
+/// that dominate the working-set maps' segment cascade (ROADMAP
+/// "`tcost::batch_op` constants").
+pub const POINT_BATCH: usize = 32;
+
 impl<K: Ord + Clone, V> Tree23<K, V> {
     /// Looks up each key of a sorted batch; returns one result per key in the
     /// same order.
@@ -29,6 +38,9 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
             items.windows(2).all(|w| w[0].0 < w[1].0),
             "batch must be sorted with distinct keys"
         );
+        if items.len() <= POINT_BATCH {
+            return items.into_iter().map(|(k, v)| self.insert(k, v)).collect();
+        }
         let root = self.root.take();
         let (root, replaced) = batch_insert_node(root, items);
         self.root = root;
@@ -39,6 +51,12 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
     /// item (if it was present).
     pub fn batch_remove(&mut self, keys: &[K]) -> Vec<Option<(K, V)>> {
         debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "batch must be sorted");
+        if keys.len() <= POINT_BATCH {
+            return keys
+                .iter()
+                .map(|k| self.remove(k).map(|v| (k.clone(), v)))
+                .collect();
+        }
         let root = self.root.take();
         let (root, removed) = batch_remove_node(root, keys);
         self.root = root;

@@ -223,6 +223,151 @@ impl<K: Ord + Clone, V> Node<K, V> {
         }
     }
 
+    /// Recomputes the cached size/max/height of an internal node from its
+    /// children (all ≤ 3 of them, so this is O(1)).
+    fn refresh(int: &mut Internal<K, V>) {
+        int.height = int.children[0].height() + 1;
+        int.size = int.children.iter().map(Node::size).sum();
+        int.max = int
+            .children
+            .last()
+            .expect("internal node has children")
+            .max_key()
+            .clone();
+    }
+
+    /// In-place point insertion: a single root-to-leaf traversal that splits
+    /// overfull nodes on the way back up.  Returns the previous value for the
+    /// key (if any) and, when this node overflowed, a new right sibling of
+    /// the same height that the caller must adopt.
+    ///
+    /// This is the constant-factor fast path behind [`crate::Tree23::insert`]:
+    /// unlike the split/join route it touches only the nodes on one spine and
+    /// allocates at most one child vector per split.
+    pub fn insert_point(&mut self, key: K, val: V) -> (Option<V>, Option<Node<K, V>>) {
+        match self {
+            Node::Leaf { key: k, val: v } => match key.cmp(k) {
+                std::cmp::Ordering::Equal => (Some(std::mem::replace(v, val)), None),
+                std::cmp::Ordering::Less => {
+                    // The new leaf takes this position; the old leaf becomes
+                    // the right sibling the parent adopts.
+                    let old = std::mem::replace(self, Node::Leaf { key, val });
+                    (None, Some(old))
+                }
+                std::cmp::Ordering::Greater => (None, Some(Node::Leaf { key, val })),
+            },
+            Node::Internal(int) => {
+                let idx = int
+                    .children
+                    .iter()
+                    .position(|c| &key <= c.max_key())
+                    .unwrap_or(int.children.len() - 1);
+                let (prev, overflow) = int.children[idx].insert_point(key, val);
+                if let Some(sibling) = overflow {
+                    int.children.insert(idx + 1, sibling);
+                }
+                if int.children.len() > 3 {
+                    let right = int.children.split_off(2);
+                    Node::refresh(int);
+                    (prev, Some(Node::internal(right)))
+                } else {
+                    Node::refresh(int);
+                    (prev, None)
+                }
+            }
+        }
+    }
+
+    /// In-place point removal from an internal node: a single root-to-leaf
+    /// traversal that repairs underfull children (borrow from or merge with a
+    /// sibling) on the way back up.  Returns the removed item.
+    ///
+    /// After the call this node may itself be left with a single child —
+    /// only the caller (the parent, or [`crate::Tree23::remove`] at the
+    /// root) can repair that, exactly as with the overflow of
+    /// [`Node::insert_point`].
+    pub fn remove_point(int: &mut Internal<K, V>, key: &K) -> Option<(K, V)> {
+        let idx = int.children.iter().position(|c| key <= c.max_key())?;
+        let removed = if matches!(&int.children[idx], Node::Leaf { .. }) {
+            match &int.children[idx] {
+                Node::Leaf { key: k, .. } if k == key => match int.children.remove(idx) {
+                    Node::Leaf { key, val } => Some((key, val)),
+                    Node::Internal(_) => unreachable!("matched a leaf"),
+                },
+                _ => None,
+            }
+        } else {
+            let Node::Internal(child) = &mut int.children[idx] else {
+                unreachable!("non-leaf child is internal")
+            };
+            let removed = Node::remove_point(child, key);
+            if removed.is_some() && child.children.len() < 2 {
+                Node::fix_underflow(int, idx);
+            }
+            removed
+        };
+        if removed.is_some() && !int.children.is_empty() {
+            Node::refresh(int);
+        }
+        removed
+    }
+
+    /// Repairs `int.children[idx]`, an internal child left with exactly one
+    /// grandchild: borrow a grandchild from an adjacent 3-child sibling, or
+    /// merge the lone grandchild into a 2-child sibling (dropping the child).
+    fn fix_underflow(int: &mut Internal<K, V>, idx: usize) {
+        let sib_idx = if idx > 0 { idx - 1 } else { idx + 1 };
+        let lone = match &mut int.children[idx] {
+            Node::Internal(c) => c.children.pop().expect("underflowing child has one child"),
+            Node::Leaf { .. } => unreachable!("underflow is defined on internal children"),
+        };
+        let sibling_has_spare = match &int.children[sib_idx] {
+            Node::Internal(s) => s.children.len() == 3,
+            Node::Leaf { .. } => unreachable!("siblings have equal height"),
+        };
+        if sibling_has_spare {
+            let moved = match &mut int.children[sib_idx] {
+                Node::Internal(s) => {
+                    let moved = if sib_idx < idx {
+                        s.children.pop().expect("3 children")
+                    } else {
+                        s.children.remove(0)
+                    };
+                    Node::refresh(s);
+                    moved
+                }
+                Node::Leaf { .. } => unreachable!(),
+            };
+            match &mut int.children[idx] {
+                Node::Internal(c) => {
+                    debug_assert!(c.children.is_empty());
+                    if sib_idx < idx {
+                        c.children.push(moved);
+                        c.children.push(lone);
+                    } else {
+                        c.children.push(lone);
+                        c.children.push(moved);
+                    }
+                    Node::refresh(c);
+                }
+                Node::Leaf { .. } => unreachable!(),
+            }
+        } else {
+            match &mut int.children[sib_idx] {
+                Node::Internal(s) => {
+                    if sib_idx < idx {
+                        s.children.push(lone);
+                    } else {
+                        s.children.insert(0, lone);
+                    }
+                    Node::refresh(s);
+                }
+                Node::Leaf { .. } => unreachable!(),
+            }
+            int.children.remove(idx);
+        }
+    }
+
     /// Looks up `key`, returning a reference to its value.
     pub fn get<'a>(&'a self, key: &K) -> Option<&'a V> {
         match self {

@@ -13,6 +13,11 @@
 
 use crate::tree::Tree23;
 
+/// Batch insertions at or below this size go through the single-item
+/// (point-update) path instead of building stamped vectors for the tree
+/// batch machinery; see `batch::POINT_BATCH` for the underlying trade-off.
+const POINT_INSERT_BATCH: usize = 8;
+
 /// Value entry of the key-map: the item's value plus its recency stamp.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Entry<V> {
@@ -123,21 +128,32 @@ impl<K: Ord + Clone, V: Clone> RecencyMap<K, V> {
     }
 
     /// Inserts (or replaces) one item as the most recent.
+    ///
+    /// Single-pass update: the key-map traversal that finds the previous
+    /// entry *is* the traversal that writes the new one (`Tree23::insert`
+    /// replaces in place), so a fresh insert costs two tree operations and a
+    /// re-insert three — down from three/four with the old
+    /// remove-then-insert sequence.
     pub fn insert_front(&mut self, key: K, val: V) -> Option<V> {
-        let prev = self.remove(&key);
         let stamp = self.next_front_stamps(1).start;
-        self.rec_map.insert(stamp, key.clone());
-        self.key_map.insert(key, Entry { stamp, val });
-        prev
+        self.fused_insert(key, stamp, val)
     }
 
-    /// Inserts (or replaces) one item as the least recent.
+    /// Inserts (or replaces) one item as the least recent.  Single-pass, like
+    /// [`RecencyMap::insert_front`].
     pub fn insert_back(&mut self, key: K, val: V) -> Option<V> {
-        let prev = self.remove(&key);
         let stamp = self.next_back_stamps(1).start;
+        self.fused_insert(key, stamp, val)
+    }
+
+    fn fused_insert(&mut self, key: K, stamp: i64, val: V) -> Option<V> {
         self.rec_map.insert(stamp, key.clone());
-        self.key_map.insert(key, Entry { stamp, val });
-        prev
+        let prev = self.key_map.insert(key, Entry { stamp, val });
+        prev.map(|old| {
+            let removed = self.rec_map.remove(&old.stamp);
+            debug_assert!(removed.is_some(), "recency map out of sync");
+            old.val
+        })
     }
 
     /// Inserts a batch of items at the front, preserving their given order
@@ -149,6 +165,13 @@ impl<K: Ord + Clone, V: Clone> RecencyMap<K, V> {
             return;
         }
         debug_assert!(items.iter().all(|(k, _)| !self.contains(k)));
+        if items.len() <= POINT_INSERT_BATCH {
+            // Point inserts, most-recent item last so it ends up frontmost.
+            for (k, v) in items.into_iter().rev() {
+                self.insert_front(k, v);
+            }
+            return;
+        }
         let stamps = self.next_front_stamps(items.len());
         let mut rec_items: Vec<(i64, K)> = Vec::with_capacity(items.len());
         let mut key_items: Vec<(K, Entry<V>)> = Vec::with_capacity(items.len());
@@ -158,7 +181,7 @@ impl<K: Ord + Clone, V: Clone> RecencyMap<K, V> {
         }
         // Recency stamps are already increasing; keys need sorting.
         self.rec_map.batch_insert(rec_items);
-        key_items.sort_by(|a, b| a.0.cmp(&b.0));
+        key_items.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         self.key_map.batch_insert(key_items);
     }
 
@@ -170,6 +193,13 @@ impl<K: Ord + Clone, V: Clone> RecencyMap<K, V> {
             return;
         }
         debug_assert!(items.iter().all(|(k, _)| !self.contains(k)));
+        if items.len() <= POINT_INSERT_BATCH {
+            // Point inserts in order: each lands behind the previous one.
+            for (k, v) in items {
+                self.insert_back(k, v);
+            }
+            return;
+        }
         let stamps = self.next_back_stamps(items.len());
         let mut rec_items: Vec<(i64, K)> = Vec::with_capacity(items.len());
         let mut key_items: Vec<(K, Entry<V>)> = Vec::with_capacity(items.len());
@@ -178,7 +208,7 @@ impl<K: Ord + Clone, V: Clone> RecencyMap<K, V> {
             key_items.push((k, Entry { stamp, val: v }));
         }
         self.rec_map.batch_insert(rec_items);
-        key_items.sort_by(|a, b| a.0.cmp(&b.0));
+        key_items.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         self.key_map.batch_insert(key_items);
     }
 
@@ -218,21 +248,23 @@ impl<K: Ord + Clone, V: Clone> RecencyMap<K, V> {
         if taken.is_empty() {
             return Vec::new();
         }
-        let mut keys: Vec<K> = taken.iter().map(|(_, k)| k.clone()).collect();
-        keys.sort();
+        // Sort a permutation of positions by key (keys are distinct — they
+        // come from the recency map), batch-remove, then scatter the removed
+        // values straight back to their recency positions.  No intermediate
+        // BTreeMap and no per-item tree lookups.
+        let mut order: Vec<u32> = (0..taken.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| taken[a as usize].1.cmp(&taken[b as usize].1));
+        let keys: Vec<K> = order.iter().map(|&i| taken[i as usize].1.clone()).collect();
         let removed = self.key_map.batch_remove(&keys);
-        // Map key -> value to restore recency order.
-        let mut by_key: std::collections::BTreeMap<K, V> = removed
-            .into_iter()
-            .flatten()
-            .map(|(k, e)| (k, e.val))
-            .collect();
+        let mut vals: Vec<Option<V>> = std::iter::repeat_with(|| None).take(taken.len()).collect();
+        for (&pos, entry) in order.iter().zip(removed) {
+            let (_, e) = entry.expect("key-map and recency-map in sync");
+            vals[pos as usize] = Some(e.val);
+        }
         taken
             .into_iter()
-            .map(|(_, k)| {
-                let v = by_key.remove(&k).expect("key-map and recency-map in sync");
-                (k, v)
-            })
+            .zip(vals)
+            .map(|((_, k), v)| (k, v.expect("every taken key was removed")))
             .collect()
     }
 

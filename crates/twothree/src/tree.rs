@@ -4,6 +4,11 @@
 
 use crate::node::Node;
 
+/// Take-counts at or below this size use repeated point removals instead of
+/// a rank split: for tiny `k` the point path avoids the split/join spine
+/// rebuild entirely (see `batch::POINT_BATCH` for the same trade-off).
+const POINT_TAKE: usize = 8;
+
 /// A leaf-based 2-3 tree storing key-value items in key order.
 ///
 /// `Tree23` is the balanced-search-tree substrate of every segment of the
@@ -83,25 +88,52 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
     }
 
     /// Inserts an item; returns the previous value for the key, if any.
+    ///
+    /// One in-place root-to-leaf traversal (`Node::insert_point`): only the
+    /// nodes on the search path are touched, and a node is allocated only
+    /// when one actually splits — not along the whole spine as the old
+    /// split/join route did.
     pub fn insert(&mut self, key: K, val: V) -> Option<V> {
-        let root = self.root.take();
-        let (left, found, right) = match root {
-            None => (None, None, None),
-            Some(r) => r.split_at_key(&key),
-        };
-        let prev = found.map(|(_, v)| v);
-        let leaf = Node::leaf(key, val);
-        let joined = Node::join_opt(Node::join_opt(left, Some(leaf)), right);
-        self.root = joined;
-        prev
+        match self.root.as_mut() {
+            None => {
+                self.root = Some(Node::leaf(key, val));
+                None
+            }
+            Some(root) => {
+                let (prev, overflow) = root.insert_point(key, val);
+                if let Some(sibling) = overflow {
+                    let old = self.root.take().expect("root present");
+                    self.root = Some(Node::internal(vec![old, sibling]));
+                }
+                prev
+            }
+        }
     }
 
-    /// Removes a key; returns its value if it was present.
+    /// Removes a key; returns its value if it was present.  In-place, like
+    /// [`Tree23::insert`].
     pub fn remove(&mut self, key: &K) -> Option<V> {
-        let root = self.root.take()?;
-        let (left, found, right) = root.split_at_key(key);
-        self.root = Node::join_opt(left, right);
-        found.map(|(_, v)| v)
+        match self.root.as_mut()? {
+            Node::Leaf { key: k, .. } => {
+                if k == key {
+                    match self.root.take() {
+                        Some(Node::Leaf { val, .. }) => Some(val),
+                        _ => unreachable!("matched a leaf root"),
+                    }
+                } else {
+                    None
+                }
+            }
+            Node::Internal(int) => {
+                let removed = Node::remove_point(int, key);
+                if int.children.len() == 1 {
+                    // Height collapse at the root.
+                    let only = int.children.pop().expect("one child");
+                    self.root = Some(only);
+                }
+                removed.map(|(_, v)| v)
+            }
+        }
     }
 
     /// Splits off everything with key `>= key` into a new tree, keeping the
@@ -129,6 +161,15 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
     /// Removes and returns the first (smallest) `k` items, in key order.
     pub fn take_front(&mut self, k: usize) -> Vec<(K, V)> {
         let k = k.min(self.len());
+        if k <= POINT_TAKE {
+            let mut out = Vec::with_capacity(k);
+            for _ in 0..k {
+                let key = self.first().expect("k <= len").0.clone();
+                let val = self.remove(&key).expect("first key present");
+                out.push((key, val));
+            }
+            return out;
+        }
         let rest = self.split_at_rank(k);
         let front = std::mem::replace(self, rest);
         front.into_sorted_vec()
@@ -138,6 +179,16 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
     pub fn take_back(&mut self, k: usize) -> Vec<(K, V)> {
         let len = self.len();
         let k = k.min(len);
+        if k <= POINT_TAKE {
+            let mut out = Vec::with_capacity(k);
+            for _ in 0..k {
+                let key = self.last().expect("k <= len").0.clone();
+                let val = self.remove(&key).expect("last key present");
+                out.push((key, val));
+            }
+            out.reverse();
+            return out;
+        }
         let back = self.split_at_rank(len - k);
         back.into_sorted_vec()
     }

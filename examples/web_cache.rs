@@ -3,8 +3,11 @@
 //!
 //! Run with `cargo run --example web_cache --release`.  The number of
 //! request-serving OS threads defaults to 4 and can be overridden with
-//! `WSM_WORKERS=n`; the map's combiner additionally fans each batch out on
-//! the work-stealing pool (`wsm-pool`, sized by `WSM_POOL_THREADS`).
+//! `WSM_WORKERS=n`; the map's combiner runs small batches inline
+//! (`WSM_INLINE_BATCH`, default 64) and fans larger ones out on the
+//! work-stealing pool (`wsm-pool`, sized by `WSM_POOL_THREADS`).  Waiters
+//! spin `WSM_SPIN_WAIT` yields before parking.  Experiment E16
+//! (`harness e16`) tracks this workload's map-vs-AVL gap as a regression.
 //!
 //! This is the motivating scenario for working-set structures: most requests
 //! hit a small set of hot pages, so a distribution-sensitive map does `O(log

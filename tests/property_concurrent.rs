@@ -1,0 +1,354 @@
+//! Linearizability property suite for [`wsm_core::ConcurrentMap`], plus
+//! interleaving stress for the lock-free MPSC publication shards.
+//!
+//! Random multi-threaded op histories (1–4 worker threads, a tiny overlapping
+//! keyspace so operations genuinely race) are executed against the map while
+//! every operation records an *invoke* and a *return* ticket from one global
+//! atomic witness clock.  A Wing–Gong style checker then searches for a
+//! linearization: a total order of the completed operations that (a) respects
+//! real time (if `a` returned before `b` was invoked, `a` comes first) and
+//! (b) replays correctly against a sequential `BTreeMap` oracle.  The search
+//! walks one-op-per-thread frontiers with memoization on (frontier, oracle
+//! state), which keeps it polynomial for these history sizes.
+//!
+//! Both combiner regimes are exercised per history: the small-batch inline
+//! fast path (threshold `usize::MAX`) and the pooled path (threshold `0`,
+//! every batch shipped to the work-stealing pool).
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use wsm_core::{BatchedMap, ConcurrentMap, M1, M2};
+use wsm_sync::MpscShard;
+
+/// One operation of a generated history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Op {
+    Search(u64),
+    Insert(u64, u64),
+    Delete(u64),
+}
+
+/// One completed operation: what ran, what it returned, and its witness
+/// interval.
+#[derive(Clone, Debug)]
+struct Done {
+    op: Op,
+    /// `Search` → the found value; `Insert`/`Delete` → the previous value.
+    result: Option<u64>,
+    invoke: u64,
+    ret: u64,
+}
+
+/// Builds per-thread op lists from generated `(kind, key)` pairs; insert
+/// values are globally unique so the oracle can distinguish every write.
+fn decode_history(raw: &[Vec<(u8, u8)>]) -> Vec<Vec<Op>> {
+    raw.iter()
+        .enumerate()
+        .map(|(t, ops)| {
+            ops.iter()
+                .enumerate()
+                .map(|(i, &(kind, key))| {
+                    let key = u64::from(key);
+                    match kind {
+                        0 => Op::Search(key),
+                        1 => Op::Insert(key, (t as u64) * 1000 + i as u64 + 1),
+                        _ => Op::Delete(key),
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs every thread's ops against the map, recording witness tickets.
+fn execute<M>(map: ConcurrentMap<u64, u64, M>, per_thread: &[Vec<Op>]) -> Vec<Vec<Done>>
+where
+    M: BatchedMap<u64, u64> + Send,
+{
+    let map = &map;
+    let clock = AtomicU64::new(0);
+    let clock = &clock;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = per_thread
+            .iter()
+            .enumerate()
+            .map(|(t, ops)| {
+                s.spawn(move || {
+                    ops.iter()
+                        .map(|&op| {
+                            let invoke = clock.fetch_add(1, Ordering::SeqCst);
+                            let result = match op {
+                                Op::Search(k) => map.search(t, k),
+                                Op::Insert(k, v) => map.insert(t, k, v),
+                                Op::Delete(k) => map.delete(t, k),
+                            };
+                            let ret = clock.fetch_add(1, Ordering::SeqCst);
+                            Done {
+                                op,
+                                result,
+                                invoke,
+                                ret,
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Applies `op` to the oracle; returns whether the recorded result matches.
+fn oracle_step(model: &mut BTreeMap<u64, u64>, done: &Done) -> bool {
+    let expected = match done.op {
+        Op::Search(k) => model.get(&k).copied(),
+        Op::Insert(k, v) => model.insert(k, v),
+        Op::Delete(k) => model.remove(&k),
+    };
+    expected == done.result
+}
+
+/// Memo key of the linearization search: (per-thread frontier, oracle
+/// contents).
+type SearchState = (Vec<usize>, Vec<(u64, u64)>);
+
+/// Wing–Gong linearizability check with memoization on
+/// (per-thread frontier, oracle contents).
+fn linearizable(histories: &[Vec<Done>]) -> bool {
+    fn dfs(
+        histories: &[Vec<Done>],
+        positions: &mut Vec<usize>,
+        model: &mut BTreeMap<u64, u64>,
+        seen: &mut HashSet<SearchState>,
+    ) -> bool {
+        if positions
+            .iter()
+            .enumerate()
+            .all(|(t, &p)| p == histories[t].len())
+        {
+            return true;
+        }
+        let state_key = (
+            positions.clone(),
+            model.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>(),
+        );
+        if !seen.insert(state_key) {
+            return false;
+        }
+        // The earliest unlinearized return bounds which ops may go next: an
+        // op whose invoke is after some pending op's return cannot precede
+        // it.  Within a thread ops are sequential, so the per-thread next op
+        // carries that thread's minimal pending return.
+        let min_pending_ret = positions
+            .iter()
+            .enumerate()
+            .filter_map(|(t, &p)| histories[t].get(p).map(|d| d.ret))
+            .min()
+            .expect("not all threads are done");
+        for t in 0..histories.len() {
+            let p = positions[t];
+            let Some(done) = histories[t].get(p) else {
+                continue;
+            };
+            if done.invoke > min_pending_ret {
+                continue; // some pending op returned before this one began
+            }
+            let mut trial = model.clone();
+            if !oracle_step(&mut trial, done) {
+                continue;
+            }
+            positions[t] += 1;
+            let ok = dfs(histories, positions, &mut trial, seen);
+            positions[t] -= 1;
+            if ok {
+                return true;
+            }
+        }
+        false
+    }
+
+    let mut positions = vec![0; histories.len()];
+    let mut model = BTreeMap::new();
+    let mut seen = HashSet::new();
+    dfs(histories, &mut positions, &mut model, &mut seen)
+}
+
+/// Executes the history on an M1-backed map at the given inline threshold
+/// and asserts a linearization exists.
+fn check_m1(per_thread: &[Vec<Op>], inline_threshold: usize) {
+    let shards = per_thread.len().max(1);
+    let map =
+        ConcurrentMap::new(M1::<u64, u64>::new(4), shards).with_inline_threshold(inline_threshold);
+    let histories = execute(map, per_thread);
+    assert!(
+        linearizable(&histories),
+        "no linearization (inline threshold {inline_threshold}): {histories:#?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random histories on M1, both combiner regimes.
+    #[test]
+    fn concurrent_m1_histories_linearize(
+        raw in prop::collection::vec(
+            prop::collection::vec((0u8..3, 0u8..3), 1..7),
+            1..5,
+        )
+    ) {
+        let per_thread = decode_history(&raw);
+        check_m1(&per_thread, usize::MAX); // inline small-batch fast path
+        check_m1(&per_thread, 0); // every batch through the pool
+    }
+
+    /// Random histories on the pipelined M2, both combiner regimes.
+    #[test]
+    fn concurrent_m2_histories_linearize(
+        raw in prop::collection::vec(
+            prop::collection::vec((0u8..3, 0u8..3), 1..6),
+            1..4,
+        )
+    ) {
+        let per_thread = decode_history(&raw);
+        let shards = per_thread.len().max(1);
+        for threshold in [usize::MAX, 0] {
+            let map = ConcurrentMap::new(M2::<u64, u64>::new(4), shards)
+                .with_inline_threshold(threshold);
+            let histories = execute(map, &per_thread);
+            prop_assert!(
+                linearizable(&histories),
+                "no linearization (inline threshold {threshold}): {histories:#?}"
+            );
+        }
+    }
+
+    /// MPSC shard stress: pool-scheduled producers with seeded yield
+    /// schedules race an OS-thread combiner; nothing may be lost or
+    /// duplicated.
+    #[test]
+    fn mpsc_shard_no_loss_under_pool_schedules(
+        seed in any::<u64>(),
+        producers in 1usize..5,
+        per_producer in 64u64..512,
+    ) {
+        let shard: Arc<MpscShard<u64>> = Arc::new(MpscShard::with_capacity(8));
+        let done = Arc::new(AtomicBool::new(false));
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let drainer = {
+            let shard = Arc::clone(&shard);
+            let done = Arc::clone(&done);
+            let collected = Arc::clone(&collected);
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                while !done.load(Ordering::Acquire) {
+                    shard.drain_into(&mut out);
+                    std::thread::yield_now();
+                }
+                shard.drain_into(&mut out);
+                *collected.lock().unwrap() = out;
+            })
+        };
+        // Producers run as pool tasks: the seeded schedule perturbs the
+        // interleaving between the work-stealing workers and the drainer.
+        wsm_pool::with_threads(producers, || {
+            wsm_pool::scope(|s| {
+                for p in 0..producers as u64 {
+                    let shard = &shard;
+                    s.spawn(move |_| {
+                        let mut schedule = seed.wrapping_add(p.wrapping_mul(0x9E3779B97F4A7C15)) | 1;
+                        for i in 0..per_producer {
+                            shard.publish(p * per_producer + i);
+                            schedule = schedule
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            if schedule & 6 == 0 {
+                                std::thread::yield_now();
+                            }
+                        }
+                    });
+                }
+            });
+        });
+        done.store(true, Ordering::Release);
+        drainer.join().unwrap();
+        let out = collected.lock().unwrap();
+        let expected = producers as u64 * per_producer;
+        prop_assert_eq!(out.len() as u64, expected, "lost publications");
+        let distinct: std::collections::BTreeSet<u64> = out.iter().copied().collect();
+        prop_assert_eq!(distinct.len() as u64, expected, "duplicated publications");
+    }
+}
+
+/// The checker itself must reject impossible histories: a search that
+/// returns a value nobody ever inserted, and a real-time violation.
+#[test]
+fn checker_rejects_impossible_histories() {
+    // Value from nowhere.
+    let h = vec![vec![Done {
+        op: Op::Search(1),
+        result: Some(99),
+        invoke: 0,
+        ret: 1,
+    }]];
+    assert!(!linearizable(&h));
+
+    // Real-time violation: the insert returned before the search began, yet
+    // the search missed it (and no other op could explain the miss).
+    let h = vec![
+        vec![Done {
+            op: Op::Insert(1, 7),
+            result: None,
+            invoke: 0,
+            ret: 1,
+        }],
+        vec![Done {
+            op: Op::Search(1),
+            result: None,
+            invoke: 2,
+            ret: 3,
+        }],
+    ];
+    assert!(!linearizable(&h));
+
+    // The same pair with overlapping intervals IS linearizable.
+    let h = vec![
+        vec![Done {
+            op: Op::Insert(1, 7),
+            result: None,
+            invoke: 0,
+            ret: 3,
+        }],
+        vec![Done {
+            op: Op::Search(1),
+            result: None,
+            invoke: 1,
+            ret: 2,
+        }],
+    ];
+    assert!(linearizable(&h));
+}
+
+/// Deterministic single-threaded histories must match the oracle exactly
+/// (the degenerate 1-worker case of the suite).
+#[test]
+fn single_threaded_history_matches_oracle() {
+    let ops = vec![vec![
+        Op::Insert(1, 10),
+        Op::Search(1),
+        Op::Insert(1, 20),
+        Op::Delete(1),
+        Op::Search(1),
+        Op::Delete(2),
+    ]];
+    let map = ConcurrentMap::new(M1::<u64, u64>::new(4), 1);
+    let histories = execute(map, &ops);
+    let results: Vec<Option<u64>> = histories[0].iter().map(|d| d.result).collect();
+    assert_eq!(
+        results,
+        vec![None, Some(10), Some(10), Some(20), None, None]
+    );
+    assert!(linearizable(&histories));
+}

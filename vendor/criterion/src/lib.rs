@@ -6,9 +6,22 @@
 //! number of timed iterations and prints a one-line mean; there is no warm-up
 //! modelling, outlier analysis or report generation. Configuration setters
 //! accept and ignore their arguments so call sites compile unchanged.
+//!
+//! Beyond upstream criterion's surface, [`criterion_main!`] additionally
+//! routes every recorded mean through the workspace's JSON writer
+//! (`wsm_bench::json`), persisting one `BENCH_bench_<binary>.json` per bench
+//! binary into `$WSM_BENCH_DIR` (or the current directory) — the same
+//! artifact format the `harness` binary emits, so `cargo bench` results are
+//! regression-trackable alongside the experiment tables.  (With the real
+//! criterion crate swapped in, its own report machinery replaces this.)
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Means recorded by every benchmark run in this process, drained by
+/// [`write_bench_artifacts`].
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 /// How many timed iterations each benchmark runs.
 const ITERATIONS: u32 = 3;
@@ -141,6 +154,49 @@ fn report(group: &str, id: &str, b: &Bencher) {
         "  {group}/{id}: {mean:?} (mean of {} iterations)",
         b.iterations
     );
+    RESULTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push((format!("{group}/{id}"), mean.as_nanos() as f64));
+}
+
+/// The benchmark binary's stem with cargo's trailing `-<hash>` stripped
+/// (`pesort-0a1b2c3d4e5f6789` → `pesort`).
+fn bench_binary_stem() -> String {
+    let stem = std::env::args()
+        .next()
+        .and_then(|arg0| {
+            std::path::Path::new(&arg0)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "bench".to_string());
+    match stem.rsplit_once('-') {
+        Some((name, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            name.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// Persists every mean recorded so far as `BENCH_bench_<binary>.json` via
+/// the workspace JSON writer.  Called by [`criterion_main!`] after all
+/// groups ran; harmless to call when nothing was recorded.
+pub fn write_bench_artifacts() {
+    let results = std::mem::take(&mut *RESULTS.lock().unwrap_or_else(|e| e.into_inner()));
+    if results.is_empty() {
+        return;
+    }
+    let rows: Vec<wsm_bench::Row> = results
+        .iter()
+        .map(|(label, ns)| wsm_bench::Row::new(label.clone(), vec![("mean ns", *ns)]))
+        .collect();
+    let id = format!("bench_{}", bench_binary_stem());
+    let meta = [("source", "cargo bench".to_string())];
+    match wsm_bench::json::write_rows(&wsm_bench::json::bench_dir(), &id, &meta, &rows) {
+        Ok(path) => println!("[wrote {}]", path.display()),
+        Err(err) => eprintln!("warning: could not write BENCH_{id}.json: {err}"),
+    }
 }
 
 /// Prevents the compiler from optimising a value away.
@@ -159,12 +215,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares a `main` that runs the listed benchmark groups.
+/// Declares a `main` that runs the listed benchmark groups, then persists
+/// the recorded means as a `BENCH_bench_<binary>.json` artifact.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_bench_artifacts();
         }
     };
 }

@@ -7,9 +7,21 @@
 //! [`collection::vec`] / [`collection::btree_set`].
 //!
 //! Cases are generated from a deterministic per-test RNG (seeded by hashing
-//! the test name), so failures are reproducible run-to-run. Unlike the real
-//! proptest there is **no shrinking**: a failing case panics immediately with
-//! the case number in the panic message (via a scoped eprintln).
+//! the test name), so failures are reproducible run-to-run.
+//!
+//! ## Shrinking
+//!
+//! On failure the runner **shrinks the counterexample** before reporting it.
+//! Generation is a pure function of the stream of `u64` draws a strategy
+//! pulls from the RNG, so the runner records that stream and then minimizes
+//! it directly (the Hypothesis approach): first it zeroes ever-smaller chunks
+//! of the stream, then it binary-searches each surviving draw down towards
+//! zero, re-running the test body on the replayed stream and keeping every
+//! mutation that still fails.  Because all strategies here map smaller draws
+//! to simpler values (integer ranges to their lower end, `vec` lengths to
+//! shorter vectors, `prop_oneof!` to earlier alternatives), the minimized
+//! stream decodes to a minimal failing input, which is printed with `Debug`
+//! before the panic is re-raised.
 
 pub mod strategy {
     //! The [`Strategy`] trait and its combinators.
@@ -66,6 +78,9 @@ pub mod strategy {
     }
 
     /// Uniform choice between boxed strategies ([`crate::prop_oneof!`]).
+    ///
+    /// The choice consumes one draw; under shrinking a smaller draw selects
+    /// an earlier alternative, so list simpler strategies first.
     pub struct Union<T> {
         options: Vec<BoxedStrategy<T>>,
     }
@@ -121,6 +136,8 @@ pub mod strategy {
     tuple_strategy!(A, B);
     tuple_strategy!(A, B, C);
     tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
 }
 
 pub mod arbitrary {
@@ -242,7 +259,10 @@ pub mod collection {
 }
 
 pub mod test_runner {
-    //! Configuration and the deterministic test RNG.
+    //! Configuration, the deterministic test RNG, and the shrinking runner.
+
+    use crate::strategy::Strategy;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
     /// Per-test configuration.
     #[derive(Clone, Debug)]
@@ -264,10 +284,22 @@ pub mod test_runner {
         }
     }
 
-    /// Deterministic RNG used for generation (SplitMix64).
-    #[derive(Clone, Debug)]
+    /// How many candidate streams the shrinker may evaluate per failure.
+    const SHRINK_BUDGET: usize = 4096;
+
+    enum Mode {
+        /// Fresh generation from the SplitMix64 state, recording each draw.
+        Random { record: Vec<u64> },
+        /// Replay of a recorded (possibly mutated) draw stream; reads past
+        /// the end yield 0, the minimal draw.
+        Replay { draws: Vec<u64>, pos: usize },
+    }
+
+    /// Deterministic RNG used for generation (SplitMix64), with draw
+    /// recording and replay for shrinking.
     pub struct TestRng {
         state: u64,
+        mode: Mode,
     }
 
     impl TestRng {
@@ -279,16 +311,184 @@ pub mod test_runner {
                 h ^= u64::from(b);
                 h = h.wrapping_mul(0x100000001b3);
             }
-            TestRng { state: h }
+            TestRng {
+                state: h,
+                mode: Mode::Random { record: Vec::new() },
+            }
+        }
+
+        /// Creates an RNG replaying the given draw stream (used by the
+        /// shrinker; exhausted streams keep yielding 0).
+        pub fn replay(draws: &[u64]) -> Self {
+            TestRng {
+                state: 0,
+                mode: Mode::Replay {
+                    draws: draws.to_vec(),
+                    pos: 0,
+                },
+            }
         }
 
         /// Returns the next 64 random bits.
         pub fn next_u64(&mut self) -> u64 {
-            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
-            let mut z = self.state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-            z ^ (z >> 31)
+            match &mut self.mode {
+                Mode::Random { record } => {
+                    self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+                    let mut z = self.state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                    let v = z ^ (z >> 31);
+                    record.push(v);
+                    v
+                }
+                Mode::Replay { draws, pos } => {
+                    let v = draws.get(*pos).copied().unwrap_or(0);
+                    *pos += 1;
+                    v
+                }
+            }
+        }
+
+        /// Takes the draws recorded since the last call (empty in replay
+        /// mode).
+        pub fn take_record(&mut self) -> Vec<u64> {
+            match &mut self.mode {
+                Mode::Random { record } => std::mem::take(record),
+                Mode::Replay { .. } => Vec::new(),
+            }
+        }
+    }
+
+    /// How many shrink re-runs are in flight process-wide.  A global count —
+    /// not a thread-local — because concurrent properties spawn OS threads /
+    /// pool workers inside the test body, and their panics during shrinking
+    /// must be silenced too.  While any shrink is active, unrelated panics
+    /// lose only the hook's immediate stderr print; libtest still reports
+    /// every failure from the captured payload.
+    static SILENCE_DEPTH: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+    /// Installs (once per process) a panic hook that stays silent while any
+    /// shrink re-run is active and defers to the previous hook otherwise, so
+    /// hundreds of shrink re-runs do not spam stderr.
+    fn silence_shrink_panics() {
+        use std::sync::Once;
+        static HOOK: Once = Once::new();
+        HOOK.call_once(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if SILENCE_DEPTH.load(std::sync::atomic::Ordering::SeqCst) == 0 {
+                    previous(info);
+                }
+            }));
+        });
+    }
+
+    /// Runs `test` on the replayed stream, reporting whether it failed.
+    fn fails<S, F>(strategy: &S, test: &F, draws: &[u64]) -> bool
+    where
+        S: Strategy,
+        F: Fn(S::Value),
+    {
+        let mut rng = TestRng::replay(draws);
+        let value = strategy.generate(&mut rng);
+        SILENCE_DEPTH.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let result = catch_unwind(AssertUnwindSafe(|| test(value)));
+        SILENCE_DEPTH.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+        result.is_err()
+    }
+
+    /// Minimizes a failing draw stream: chunk zeroing, then a per-draw binary
+    /// search towards zero.  Every kept mutation still fails `test`.
+    fn shrink_draws<S, F>(strategy: &S, test: &F, mut draws: Vec<u64>) -> (Vec<u64>, usize)
+    where
+        S: Strategy,
+        F: Fn(S::Value),
+    {
+        let mut budget = SHRINK_BUDGET;
+        // Pass 1: zero chunks of halving size (drops whole substructures —
+        // e.g. a vec length draw and its elements — in one step).
+        let mut chunk = draws.len();
+        while chunk > 0 && budget > 0 {
+            let mut start = 0;
+            while start < draws.len() && budget > 0 {
+                let end = (start + chunk).min(draws.len());
+                if draws[start..end].iter().any(|&d| d != 0) {
+                    let saved: Vec<u64> = draws[start..end].to_vec();
+                    draws[start..end].iter_mut().for_each(|d| *d = 0);
+                    budget -= 1;
+                    if !fails(strategy, test, &draws) {
+                        draws[start..end].copy_from_slice(&saved);
+                    }
+                }
+                start = end;
+            }
+            chunk /= 2;
+        }
+        // Pass 2: binary-search each draw towards zero.
+        for i in 0..draws.len() {
+            let original = draws[i];
+            if original == 0 {
+                continue;
+            }
+            let mut lo = 0u64; // lowest candidate not yet known to pass
+            let mut hi = original; // known to fail
+            while lo < hi && budget > 0 {
+                let mid = lo + (hi - lo) / 2;
+                draws[i] = mid;
+                budget -= 1;
+                if fails(strategy, test, &draws) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            draws[i] = hi;
+        }
+        (draws, SHRINK_BUDGET - budget)
+    }
+
+    /// Drives one property: generates `config.cases` inputs, runs `test` on
+    /// each, and on the first failure shrinks the recorded draw stream,
+    /// prints the minimized counterexample and re-raises the (minimized)
+    /// panic.
+    pub fn run_cases<S, F>(name: &str, config: &Config, strategy: &S, test: F)
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+        F: Fn(S::Value),
+    {
+        silence_shrink_panics();
+        let mut rng = TestRng::for_test(name);
+        for case in 0..config.cases {
+            rng.take_record();
+            let value = strategy.generate(&mut rng);
+            if let Err(original_panic) = catch_unwind(AssertUnwindSafe(|| test(value))) {
+                let draws = rng.take_record();
+                // The failing input is reconstructed from its draw stream
+                // only now, so passing cases never pay for a Debug render.
+                let original_value = strategy.generate(&mut TestRng::replay(&draws));
+                let (minimized, runs) = shrink_draws(strategy, &test, draws);
+                let minimized_value = strategy.generate(&mut TestRng::replay(&minimized));
+                eprintln!(
+                    "proptest `{name}`: case {}/{} failed; original input:\n{:#?}\n\
+                     minimal failing input (after {runs} shrink runs):\n{:#?}",
+                    case + 1,
+                    config.cases,
+                    original_value,
+                    minimized_value,
+                );
+                // Re-run the minimized case un-silenced so the panic payload
+                // (and assertion message) match the printed input.  The
+                // shrinker only keeps failing streams, so this must fail;
+                // fall back to the original panic if it somehow does not
+                // (e.g. a flaky property).
+                match catch_unwind(AssertUnwindSafe(|| {
+                    test(strategy.generate(&mut TestRng::replay(&minimized)))
+                })) {
+                    Err(minimized_panic) => resume_unwind(minimized_panic),
+                    Ok(()) => resume_unwind(original_panic),
+                }
+            }
         }
     }
 }
@@ -308,8 +508,6 @@ pub mod prelude {
 }
 
 /// Asserts a condition inside a property, failing the case if false.
-///
-/// This stand-in panics immediately (no shrinking).
 #[macro_export]
 macro_rules! prop_assert {
     ($cond:expr) => {
@@ -354,6 +552,9 @@ macro_rules! prop_oneof {
 ///     }
 /// }
 /// ```
+///
+/// A failing case is shrunk (see the crate docs) and the minimized input is
+/// printed via `Debug` before the panic is re-raised.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -377,25 +578,13 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::Config = $config;
-            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
-            // Build each strategy once (bound to the argument name, then
-            // shadowed by the generated value inside the loop).
-            $(let $arg = $strategy;)+
-            for case in 0..config.cases {
-                $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut rng);)+
-                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
-                    $body
-                }));
-                if let Err(panic) = result {
-                    eprintln!(
-                        "proptest case {}/{} of `{}` failed (no shrinking in offline stand-in)",
-                        case + 1,
-                        config.cases,
-                        stringify!($name),
-                    );
-                    ::std::panic::resume_unwind(panic);
-                }
-            }
+            let strategy = ($($strategy,)+);
+            $crate::test_runner::run_cases(
+                stringify!($name),
+                &config,
+                &strategy,
+                |($($arg,)+)| $body,
+            );
         }
         $crate::__proptest_items! { ($config) $($rest)* }
     };
@@ -435,6 +624,91 @@ mod tests {
         #[test]
         fn btree_sets_have_distinct_elements(s in prop::collection::btree_set(any::<u16>(), 1..40)) {
             prop_assert!(!s.is_empty());
+        }
+    }
+
+    mod shrinking {
+        use crate::test_runner::{run_cases, Config};
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::Mutex;
+
+        #[test]
+        fn integer_counterexample_shrinks_to_boundary() {
+            // Fails for x >= 777; the minimal counterexample is exactly 777,
+            // and the final (re-raised) run must execute it.
+            let executed: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+            let strategy = (0u64..100_000,);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_cases(
+                    "shrink_int_demo",
+                    &Config::with_cases(64),
+                    &strategy,
+                    |(x,)| {
+                        executed.lock().unwrap().push(x);
+                        assert!(x < 777, "too big: {x}");
+                    },
+                );
+            }));
+            assert!(result.is_err(), "property must fail");
+            let last = *executed.lock().unwrap().last().unwrap();
+            assert_eq!(last, 777, "shrinker should land on the failure boundary");
+        }
+
+        #[test]
+        fn vec_counterexample_shrinks_to_single_element() {
+            // Fails when any element is >= 500; minimal case is one element
+            // of exactly 500.
+            let executed: Mutex<Vec<Vec<u64>>> = Mutex::new(Vec::new());
+            let strategy = (crate::collection::vec(0u64..1000, 0..20),);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_cases(
+                    "shrink_vec_demo",
+                    &Config::with_cases(64),
+                    &strategy,
+                    |(v,)| {
+                        executed.lock().unwrap().push(v.clone());
+                        assert!(v.iter().all(|&x| x < 500), "oversized element in {v:?}");
+                    },
+                );
+            }));
+            assert!(result.is_err(), "property must fail");
+            let last = executed.lock().unwrap().last().unwrap().clone();
+            assert_eq!(last, vec![500], "minimal case is a single boundary element");
+        }
+
+        #[test]
+        fn choice_counterexample_shrinks_to_first_failing_option() {
+            // The second alternative always fails; shrinking must keep a
+            // failing stream while minimizing the payload.
+            let executed: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+            let strategy = (prop_oneof![0u64..10, 100u64..200],);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_cases(
+                    "shrink_choice_demo",
+                    &Config::with_cases(64),
+                    &strategy,
+                    |(x,)| {
+                        executed.lock().unwrap().push(x);
+                        assert!(x < 100, "chose the failing branch: {x}");
+                    },
+                );
+            }));
+            assert!(result.is_err(), "property must fail");
+            let last = *executed.lock().unwrap().last().unwrap();
+            assert_eq!(last, 100, "minimal failing choice is the branch floor");
+        }
+
+        #[test]
+        fn passing_properties_never_shrink() {
+            let strategy = (0u64..100,);
+            run_cases(
+                "no_shrink_needed",
+                &Config::with_cases(32),
+                &strategy,
+                |(x,)| {
+                    assert!(x < 100);
+                },
+            );
         }
     }
 }
