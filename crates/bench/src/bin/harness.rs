@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! harness [e1|e3|e4|e6|e7|e8|e10|e12|e13|e14|e15|e16|all] [--small] [--threads N]
+//! harness [e1|e3|e4|e6|e7|e8|e10|e12|e13|e14|e15|e16|e17|all] [--small] [--threads N]
 //! ```
 //! With no experiment argument, all experiments run at their default
 //! (paper-shaped) sizes; `--small` shrinks them for a quick smoke run.
@@ -13,8 +13,9 @@
 //! experiment — sweeps worker counts `1, 2, 4, 8` capped at `N`.
 //!
 //! Every experiment additionally writes a machine-readable
-//! `BENCH_<id>.json` artifact (into `$WSM_BENCH_DIR` or the current
-//! directory) for regression tracking.
+//! `BENCH_<id>.json` artifact (into `$WSM_BENCH_DIR`, defaulting to the
+//! repository root so committed trends accumulate across PRs) for regression
+//! tracking.
 
 use wsm_bench as bench;
 
@@ -45,17 +46,27 @@ fn in_pool(
     }
 }
 
-/// Prints the table and persists the `BENCH_<id>.json` artifact.
-fn emit(id: &str, title: &str, rows: &[bench::Row], threads: Option<usize>) {
+/// Prints the table and persists the `BENCH_<id>[_small].json` artifact.
+///
+/// Small-preset runs write to a `_small`-suffixed file (with the preset also
+/// recorded in the meta), so the committed small-preset trend artifacts are
+/// never clobbered with incomparable paper-shaped numbers and vice versa.
+fn emit(id: &str, title: &str, rows: &[bench::Row], threads: Option<usize>, small: bool) {
     bench::print_table(title, rows);
     let threads_meta = match threads {
         Some(n) => n.to_string(),
         None => "default".to_string(),
     };
-    let meta = [("threads", threads_meta)];
-    match bench::json::write_rows(&bench::json::bench_dir(), id, &meta, rows) {
+    let preset = if small { "small" } else { "full" };
+    let meta = [("threads", threads_meta), ("preset", preset.to_string())];
+    let file_id = if small {
+        format!("{id}_small")
+    } else {
+        id.to_string()
+    };
+    match bench::json::write_rows(&bench::json::bench_dir(), &file_id, &meta, rows) {
         Ok(path) => println!("[wrote {}]", path.display()),
-        Err(err) => eprintln!("warning: could not write BENCH_{id}.json: {err}"),
+        Err(err) => eprintln!("warning: could not write BENCH_{file_id}.json: {err}"),
     }
 }
 
@@ -104,6 +115,7 @@ fn main() {
             "E1/E2: sequential working-set structures vs W_L (work ratio)",
             &rows,
             threads,
+            small,
         );
     }
     if run("e3") || run("e5") {
@@ -115,6 +127,7 @@ fn main() {
             "E3/E5: M1 and M2 effective work vs W_L",
             &rows,
             threads,
+            small,
         );
     }
     if run("e4") {
@@ -126,6 +139,7 @@ fn main() {
             "E4: M1 effective span per batch vs (log p)^2 + log n",
             &rows,
             threads,
+            small,
         );
     }
     if run("e6") {
@@ -137,11 +151,18 @@ fn main() {
             "E6: M2 per-operation pipeline latency by recency",
             &rows,
             threads,
+            small,
         );
     }
     if run("e7") {
         let rows = in_pool(shared_pool, || bench::experiment_buffer_cost(&[4, 16, 64]));
-        emit("e7", "E7: parallel buffer flush cost", &rows, threads);
+        emit(
+            "e7",
+            "E7: parallel buffer flush cost",
+            &rows,
+            threads,
+            small,
+        );
     }
     if run("e8") || run("e9") {
         let rows = in_pool(shared_pool, || bench::experiment_sorting(sizes.sort_n));
@@ -150,6 +171,7 @@ fn main() {
             "E8/E9: ESort and PESort work vs the entropy bound",
             &rows,
             threads,
+            small,
         );
     }
     if run("e10") {
@@ -161,6 +183,7 @@ fn main() {
             "E10: static optimality (M1 work vs optimal static BST)",
             &rows,
             threads,
+            small,
         );
     }
     if run("e12") {
@@ -172,6 +195,7 @@ fn main() {
             "E12: ablation — duplicate combining vs naive per-op execution",
             &rows,
             threads,
+            small,
         );
     }
     if run("e13") {
@@ -183,6 +207,7 @@ fn main() {
             "E13: pipelining — M1 vs M2 latency for hot ops behind cold misses",
             &rows,
             threads,
+            small,
         );
     }
     if run("e14") {
@@ -194,6 +219,19 @@ fn main() {
             "E14: runtime invariant checks (Lemma 16 style)",
             &rows,
             threads,
+            small,
+        );
+    }
+    if run("e17") {
+        let rows = in_pool(shared_pool, || {
+            bench::experiment_cost_constants(sizes.keyspace, sizes.operations)
+        });
+        emit(
+            "e17",
+            "E17: measured vs worst-case analytic constants (W/W_L, W/bound per structure and workload)",
+            &rows,
+            threads,
+            small,
         );
     }
     if run("e16") {
@@ -206,6 +244,7 @@ fn main() {
             "E16: hot-path constant factors (ConcurrentMap vs coarse-locked AVL, inline-threshold sweep, W/W_L)",
             &rows,
             threads,
+            small,
         );
     }
     if run("e15") {
@@ -231,6 +270,7 @@ fn main() {
             "E15: wall-clock scaling on the work-stealing pool (pesort / tree batch / concurrent map)",
             &rows,
             threads,
+            small,
         );
     }
 }
@@ -281,7 +321,7 @@ fn parse_positive(flag: &str, value: &str) -> usize {
 fn usage_error(msg: &str) -> ! {
     eprintln!("harness: {msg}");
     eprintln!(
-        "usage: harness [e1|e3|e4|e6|e7|e8|e10|e12|e13|e14|e15|e16|all] [--small] [--threads N]"
+        "usage: harness [e1|e3|e4|e6|e7|e8|e10|e12|e13|e14|e15|e16|e17|all] [--small] [--threads N]"
     );
     std::process::exit(2);
 }

@@ -84,11 +84,26 @@ pub fn rows_to_json(experiment: &str, meta: &[(&str, String)], rows: &[Row]) -> 
 }
 
 /// Directory benchmark artifacts are written to: `$WSM_BENCH_DIR` if set,
-/// otherwise the current working directory.
+/// otherwise the repository root (so `BENCH_*.json` trends accumulate in one
+/// committed location no matter where the harness is invoked from), falling
+/// back to the current working directory if no workspace root is found.
+///
+/// The root is located by walking up from the *invoking* directory to the
+/// nearest ancestor holding both `Cargo.toml` and `ROADMAP.md` — not from
+/// the compile-time manifest path, which would point a binary built in one
+/// checkout at that checkout even when run from another.
 pub fn bench_dir() -> PathBuf {
-    std::env::var_os("WSM_BENCH_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."))
+    if let Some(dir) = std::env::var_os("WSM_BENCH_DIR") {
+        return PathBuf::from(dir);
+    }
+    if let Ok(cwd) = std::env::current_dir() {
+        for dir in cwd.ancestors() {
+            if dir.join("Cargo.toml").is_file() && dir.join("ROADMAP.md").is_file() {
+                return dir.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from(".")
 }
 
 /// Writes `BENCH_<experiment>.json` into `dir`, returning the path written.
@@ -137,6 +152,22 @@ mod tests {
             "unbalanced braces in {json}"
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn bench_dir_defaults_to_repo_root() {
+        // Only meaningful when WSM_BENCH_DIR is unset (the test environment
+        // does not set it); the default must be the workspace root of the
+        // *invoking* directory so that committed BENCH_*.json trends
+        // accumulate in one place.
+        if std::env::var_os("WSM_BENCH_DIR").is_none() {
+            let dir = bench_dir();
+            assert!(
+                (dir.join("ROADMAP.md").is_file() && dir.join("Cargo.toml").is_file())
+                    || dir == Path::new("."),
+                "bench_dir {dir:?} is neither the repo root nor the cwd fallback"
+            );
+        }
     }
 
     #[test]

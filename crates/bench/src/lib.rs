@@ -737,6 +737,69 @@ pub fn experiment_hot_paths(
     rows
 }
 
+/// E17: measured-vs-bound analytic constants per structure and workload.
+///
+/// Since the measured/worst-case charge split in `wsm_twothree::cost`, the
+/// maps' cost meters record the tree nodes batches *actually* touched while
+/// `analytic_bound_work` accumulates the closed-form Appendix A.2 charges the
+/// same batches would have paid.  This experiment records, per workload of
+/// the standard suite plus a Zipf size sweep plus a 40%-update mix:
+///
+/// * `M1 W/W_L`, `M2 W/W_L` — measured effective work over the working-set
+///   bound: the constants the ROADMAP tracked at ≈6.1 / ≈7.7 under
+///   worst-case charging;
+/// * `M1 bound/W_L` — the worst-case constant, for the before/after trend;
+/// * `M1 W/bound`, `M2 W/bound` — how far below the Lemma ceiling the
+///   implementation runs (must be ≤ 1 by construction: exceeding the bound
+///   trips a debug assertion in `tcost`, which CI runs with assertions on);
+/// * `M2 maint runs` — dedicated hole-refill maintenance runs of the eager
+///   cascade that keeps the Lemma 16 prefix deficit under 2p².
+///
+/// Results are persisted to `BENCH_e17.json` so the constants become tracked
+/// regressions rather than one-off ROADMAP notes.
+pub fn experiment_cost_constants(keyspace: u64, operations: usize) -> Vec<Row> {
+    let p = 4;
+    let mut rows = Vec::new();
+    let record = |rows: &mut Vec<Row>, label: String, spec: &WorkloadSpec| {
+        let ops = spec.full_sequence();
+        let wl = working_set_bound(&ops) as f64;
+        let mut m1 = M1::new(p);
+        run_batched(&mut m1, &ops, p * p);
+        let mut m2 = M2::new(p);
+        run_batched(&mut m2, &ops, p * p);
+        let m1_bound = m1.analytic_bound_work() as f64;
+        let m2_bound = m2.analytic_bound_work() as f64;
+        rows.push(Row::new(
+            label,
+            vec![
+                ("W_L", wl),
+                ("M1 W/W_L", m1.effective_work() as f64 / wl),
+                ("M1 bound/W_L", m1_bound / wl),
+                ("M1 W/bound", m1.effective_work() as f64 / m1_bound),
+                ("M2 W/W_L", m2.effective_work() as f64 / wl),
+                ("M2 W/bound", m2.effective_work() as f64 / m2_bound),
+                ("M2 maint runs", m2.maintenance_runs() as f64),
+            ],
+        ));
+    };
+    for (name, spec) in standard_suite(keyspace, operations, 13) {
+        record(&mut rows, name.to_string(), &spec);
+    }
+    // Constant-factor *trend* over the structure size (the paper-shaped
+    // regime is the largest row).
+    for shift in [2u32, 1, 0] {
+        let ks = (keyspace >> shift).max(64);
+        let nops = (operations >> shift).max(256);
+        let spec = WorkloadSpec::read_only(ks, nops, Pattern::Zipf(1.1), 17);
+        record(&mut rows, format!("zipf s=1.1 n={ks}"), &spec);
+    }
+    // Update-heavy mix: deletions drive the hole-refill maintenance cascade.
+    let mut spec = WorkloadSpec::read_only(keyspace, operations, Pattern::Zipf(1.0), 19);
+    spec.update_fraction = 0.4;
+    record(&mut rows, "zipf s=1.0, 40% updates".to_string(), &spec);
+    rows
+}
+
 /// E14: runtime invariant checking of M1 and M2 over mixed workloads.
 pub fn experiment_invariants(keyspace: u64, operations: usize) -> Vec<Row> {
     let mut spec = WorkloadSpec::read_only(keyspace, operations, Pattern::Zipf(1.0), 7);
@@ -828,6 +891,58 @@ mod tests {
             m1_ratio > 0.5 && m1_ratio < 100.0,
             "implausible M1/W_L constant {m1_ratio}"
         );
+    }
+
+    #[test]
+    fn cost_constants_experiment_shows_measured_below_bound() {
+        let rows = experiment_cost_constants(1 << 9, 1 << 11);
+        // 5 suite workloads + 3 zipf sizes + 1 update mix.
+        assert_eq!(rows.len(), 9);
+        let ceiling = wsm_twothree::cost::MEASURED_CEILING as f64;
+        for row in &rows {
+            let get = |key: &str| row.values.iter().find(|(k, _)| k == key).unwrap().1;
+            for which in ["M1 W/bound", "M2 W/bound"] {
+                let ratio = get(which);
+                assert!(
+                    ratio > 0.0 && ratio < ceiling,
+                    "{}: {which} {ratio} outside (0, ceiling {ceiling})",
+                    row.label
+                );
+            }
+        }
+        // On workloads with locality the split must actually tighten the
+        // constant, not relabel it: measured work clearly below the
+        // worst-case charge (cold uniform scans may measure at ≈1x the
+        // closed form — that is the honest answer, the ceiling covers it).
+        for label in ["hot-set (8 keys, 2% miss)", "zipf s=1.0, 40% updates"] {
+            let row = rows.iter().find(|r| r.label == label).unwrap();
+            let get = |key: &str| row.values.iter().find(|(k, _)| k == key).unwrap().1;
+            assert!(
+                get("M1 W/W_L") < get("M1 bound/W_L"),
+                "{label}: measured constant not below the bound constant"
+            );
+            assert!(
+                get("M1 W/bound") < 1.0 && get("M2 W/bound") < 1.0,
+                "{label}: locality workload should measure below the bound"
+            );
+        }
+        // The maintenance-run column counts only real hole-refill work (at
+        // these small sizes the mix may legitimately need none — a non-zero
+        // count on a genuine deletion wave is pinned by
+        // tests/property_invariants.rs); here it just has to be well-formed.
+        for row in &rows {
+            let maint = row
+                .values
+                .iter()
+                .find(|(k, _)| k == "M2 maint runs")
+                .unwrap()
+                .1;
+            assert!(
+                maint >= 0.0 && maint.is_finite(),
+                "{}: malformed maintenance-run count {maint}",
+                row.label
+            );
+        }
     }
 
     #[test]

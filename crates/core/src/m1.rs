@@ -23,7 +23,8 @@ use crate::ops::{BatchedMap, GroupOp, OpId, OpResult, Operation, TaggedOp};
 use wsm_model::{ceil_log2, Cost, CostMeter};
 use wsm_seq::segment_capacity;
 use wsm_sort::{pesort_group_into, GroupedBatch, SortScratch};
-use wsm_twothree::{cost as tcost, RecencyMap};
+use wsm_twothree::cost::{self as tcost, Charge};
+use wsm_twothree::RecencyMap;
 
 /// Statistics recorded for every cut batch M1 processes.
 #[derive(Clone, Copy, Debug, Default)]
@@ -45,6 +46,11 @@ pub struct M1<K, V> {
     segments: Vec<RecencyMap<K, V>>,
     size: usize,
     meter: CostMeter,
+    /// Worst-case (Lemma A.2) work the processed batches *would* have been
+    /// charged before the measured/bound split; the meter holds the measured
+    /// work actually paid.  `analytic_bound_work / effective_work` is the
+    /// constant factor E17 tracks.
+    bound_work: u64,
     next_id: OpId,
     batch_log: Vec<BatchStats>,
     /// Reusable sort/group buffers: after the first few batches the
@@ -70,6 +76,7 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
             segments: Vec::new(),
             size: 0,
             meter: CostMeter::new(),
+            bound_work: 0,
             next_id: 0,
             batch_log: Vec::new(),
             key_buf: Vec::new(),
@@ -105,6 +112,14 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
         &self.batch_log
     }
 
+    /// Total worst-case work (the closed-form Appendix A.2 bounds) for every
+    /// charge this map has paid.  [`BatchedMap::effective_work`] reports the
+    /// measured touched-node work, which is at most this (up to
+    /// [`tcost::MEASURED_CEILING`], asserted in debug builds).
+    pub fn analytic_bound_work(&self) -> u64 {
+        self.bound_work
+    }
+
     /// Non-adjusting lookup for tests: scans the segments without charging
     /// cost or restructuring.
     pub fn peek(&self, key: &K) -> Option<&V> {
@@ -127,6 +142,7 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
             self.next_id = self.next_id.max(t.id + 1);
         }
         let cost = self.feed.push_input(batch);
+        self.bound_work += cost.work;
         self.meter.charge(cost);
     }
 
@@ -156,8 +172,9 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
         let (batch, form_cost) = self.feed.pop_cut_batch(self.cut_bunch_count());
         let stats_before = self.size;
         let batch_size = batch.len();
-        let (results, mut cost) = self.process_cut_batch(batch);
-        cost = form_cost.then(cost);
+        let (results, charge) = self.process_cut_batch(batch);
+        let cost = form_cost.then(charge.measured);
+        self.bound_work += form_cost.work + charge.bound.work;
         self.meter.charge_in_batch(cost);
         self.meter.end_batch();
         self.batch_log.push(BatchStats {
@@ -182,19 +199,23 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
     fn process_cut_batch(
         &mut self,
         batch: Vec<TaggedOp<K, V>>,
-    ) -> (Vec<(OpId, OpResult<V>)>, Cost) {
+    ) -> (Vec<(OpId, OpResult<V>)>, Charge) {
         let b = batch.len();
         if b == 0 {
-            return (Vec::new(), Cost::ZERO);
+            return (Vec::new(), Charge::ZERO);
         }
-        let mut cost = Cost::ZERO;
+        let mut cost = Charge::ZERO;
 
         // Entropy-sort the batch by key and combine duplicates into
         // group-operations, through the reusable scratch buffers.
         self.key_buf.clear();
         self.key_buf
             .extend(batch.iter().map(|t| t.op.key().clone()));
-        cost += pesort_group_into(&self.key_buf, &mut self.scratch, &mut self.grouped);
+        cost += Charge::exact(pesort_group_into(
+            &self.key_buf,
+            &mut self.scratch,
+            &mut self.grouped,
+        ));
         let mut groups: Vec<GroupOp<K, V>> = std::mem::take(&mut self.groups_buf);
         debug_assert!(groups.is_empty());
         for (key, idxs) in self.grouped.iter() {
@@ -217,8 +238,10 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
             let seg_len = self.segments[k].len() as u64;
             self.key_buf.clear();
             self.key_buf.extend(groups.iter().map(|g| g.key.clone()));
-            let removed = self.segments[k].remove_batch(&self.key_buf);
-            cost += tcost::batch_op(self.key_buf.len() as u64, seg_len);
+            let seg = &mut self.segments[k];
+            let keys: &[K] = &self.key_buf;
+            let (removed, touched) = tcost::metered(|| seg.remove_batch(keys));
+            cost += tcost::batch_op_charge(touched, keys.len() as u64, seg_len);
 
             let mut shift: Vec<(K, V)> = Vec::new();
             let mut write = 0;
@@ -245,8 +268,11 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
             groups.truncate(write);
             let dest = k.saturating_sub(1);
             if !shift.is_empty() {
-                cost += tcost::batch_op(shift.len() as u64, self.segments[dest].len() as u64);
-                self.segments[dest].insert_front_batch(shift);
+                let shift_len = shift.len() as u64;
+                let dest_len = self.segments[dest].len() as u64;
+                let dest_seg = &mut self.segments[dest];
+                let ((), touched) = tcost::metered(|| dest_seg.insert_front_batch(shift));
+                cost += tcost::batch_op_charge(touched, shift_len, dest_len);
             }
             cost += self.restore_prefixes(k);
             k += 1;
@@ -279,6 +305,22 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
         (results, cost)
     }
 
+    /// Moves `count` items across the boundary between `S[i-1]` and `S[i]`
+    /// with `mv`, metering the touched nodes into a transfer charge.
+    fn metered_transfer(
+        &mut self,
+        i: usize,
+        count: usize,
+        larger: u64,
+        mv: impl FnOnce(&mut RecencyMap<K, V>, &mut RecencyMap<K, V>, usize),
+    ) -> Charge {
+        let (left, right) = self.segments.split_at_mut(i);
+        let prev = &mut left[i - 1];
+        let next = &mut right[0];
+        let ((), touched) = tcost::metered(|| mv(prev, next, count));
+        tcost::transfer_charge(touched, count as u64, larger)
+    }
+
     /// Total capacity of segments `S[0..i-1]` (saturating).
     fn prefix_capacity(i: usize) -> u64 {
         (0..i).fold(0u64, |acc, j| {
@@ -292,30 +334,32 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
     }
 
     /// Balances the boundary between `S[i-1]` and `S[i]` so that the prefix
-    /// `S[0..i-1]` is exactly full, or `S[i]` is empty.  Returns the cost.
-    fn balance_boundary(&mut self, i: usize) -> Cost {
+    /// `S[0..i-1]` is exactly full, or `S[i]` is empty.  Returns the charge.
+    fn balance_boundary(&mut self, i: usize) -> Charge {
         let target = Self::prefix_capacity(i);
         let current = self.prefix_size(i);
         let larger = self.segments[i - 1].len().max(self.segments[i].len()) as u64;
         if current > target {
             let x = (current - target) as usize;
-            let moved = self.segments[i - 1].pop_back(x);
-            self.segments[i].insert_front_batch(moved);
-            tcost::transfer(x as u64, larger)
+            self.metered_transfer(i, x, larger, |prev, next, x| {
+                let moved = prev.pop_back(x);
+                next.insert_front_batch(moved);
+            })
         } else if current < target && !self.segments[i].is_empty() {
             let x = ((target - current) as usize).min(self.segments[i].len());
-            let moved = self.segments[i].pop_front(x);
-            self.segments[i - 1].insert_back_batch(moved);
-            tcost::transfer(x as u64, larger)
+            self.metered_transfer(i, x, larger, |prev, next, x| {
+                let moved = next.pop_front(x);
+                prev.insert_back_batch(moved);
+            })
         } else {
-            Cost::ZERO
+            Charge::ZERO
         }
     }
 
     /// Restores the capacity invariant for all prefixes up to segment `k`
     /// (the step-3 restoration of Section 6.1).
-    fn restore_prefixes(&mut self, k: usize) -> Cost {
-        let mut cost = Cost::ZERO;
+    fn restore_prefixes(&mut self, k: usize) -> Charge {
+        let mut cost = Charge::ZERO;
         for i in (1..=k.min(self.segments.len().saturating_sub(1))).rev() {
             cost += self.balance_boundary(i);
         }
@@ -323,29 +367,34 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
     }
 
     /// Restores the capacity invariant across the whole structure.
-    fn restore_all(&mut self) -> Cost {
+    fn restore_all(&mut self) -> Charge {
         let last = self.segments.len().saturating_sub(1);
         self.restore_prefixes(last)
     }
 
     /// Appends net insertions at the back of the terminal segment, carving new
     /// terminal segments when it overflows (end of Section 6.1).
-    fn append_inserts(&mut self, items: Vec<(K, V)>) -> Cost {
-        let mut cost = Cost::ZERO;
+    fn append_inserts(&mut self, items: Vec<(K, V)>) -> Charge {
+        let mut cost = Charge::ZERO;
         if self.segments.is_empty() {
             self.segments.push(RecencyMap::new());
         }
         self.size += items.len();
         let mut l = self.segments.len() - 1;
-        cost += tcost::batch_op(items.len() as u64, self.segments[l].len() as u64);
-        self.segments[l].insert_back_batch(items);
+        let items_len = items.len() as u64;
+        let seg_len = self.segments[l].len() as u64;
+        let seg = &mut self.segments[l];
+        let ((), touched) = tcost::metered(|| seg.insert_back_batch(items));
+        cost += tcost::batch_op_charge(touched, items_len, seg_len);
         while self.segments[l].len() as u64 > segment_capacity(l as u32) {
             let excess = (self.segments[l].len() as u64 - segment_capacity(l as u32)) as usize;
-            let moved = self.segments[l].pop_back(excess);
-            cost += tcost::transfer(excess as u64, self.segments[l].len() as u64 + excess as u64);
+            let larger = self.segments[l].len() as u64;
             self.segments.push(RecencyMap::new());
             l += 1;
-            self.segments[l].insert_front_batch(moved);
+            cost += self.metered_transfer(l, excess, larger, |prev, next, x| {
+                let moved = prev.pop_back(x);
+                next.insert_front_batch(moved);
+            });
         }
         cost
     }

@@ -20,8 +20,8 @@ use std::collections::VecDeque;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskId(pub usize);
 
-/// Scheduling priority of a task (two levels, as in the weak-priority
-/// scheduler of Section 7.2).
+/// Scheduling priority of a task (the two levels of the weak-priority
+/// scheduler of Section 7.2, plus a background level for maintenance work).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Priority {
     /// Ordinary work (queue `Q2`).
@@ -29,6 +29,10 @@ pub enum Priority {
     Normal,
     /// Weakly-prioritised work (queue `Q1`), e.g. the final-slab nodes of M2.
     High,
+    /// Background maintenance work (M2's eager hole-refill cascade): taken
+    /// only by processors that found neither high- nor normal-priority work,
+    /// so modelling the cascade never delays token-carrying runs.
+    Maintenance,
 }
 
 #[derive(Clone, Debug)]
@@ -156,15 +160,20 @@ impl TaskGraph {
         // Ready queues.
         let mut high: VecDeque<usize> = VecDeque::new();
         let mut normal: VecDeque<usize> = VecDeque::new();
-        let push_ready = |i: usize, high: &mut VecDeque<usize>, normal: &mut VecDeque<usize>| {
+        let mut maint: VecDeque<usize> = VecDeque::new();
+        let push_ready = |i: usize,
+                          high: &mut VecDeque<usize>,
+                          normal: &mut VecDeque<usize>,
+                          maint: &mut VecDeque<usize>| {
             match self.tasks[i].priority {
                 Priority::High => high.push_back(i),
                 Priority::Normal => normal.push_back(i),
+                Priority::Maintenance => maint.push_back(i),
             }
         };
         for (i, &left) in preds_left.iter().enumerate() {
             if left == 0 {
-                push_ready(i, &mut high, &mut normal);
+                push_ready(i, &mut high, &mut normal, &mut maint);
             }
         }
 
@@ -185,17 +194,25 @@ impl TaskGraph {
             // Under the weak-priority policy the first `high_preferring` idle
             // processors take from the high queue first.
             let mut dispatched_any = false;
-            while idle > 0 && (!high.is_empty() || !normal.is_empty()) {
+            while idle > 0 && (!high.is_empty() || !normal.is_empty() || !maint.is_empty()) {
                 let prefer_high = match policy {
                     SchedulePolicy::Greedy => false,
                     SchedulePolicy::WeakPriority => p - idle < high_preferring,
                 };
+                // Maintenance work is background under both policies: an idle
+                // processor takes it only when no foreground task is ready
+                // (greediness keeps all processors busy regardless).
                 let task = if prefer_high {
-                    high.pop_front().or_else(|| normal.pop_front())
+                    high.pop_front()
+                        .or_else(|| normal.pop_front())
+                        .or_else(|| maint.pop_front())
                 } else {
                     // Plain greedy processors still take high-priority work if
                     // nothing else is available (greediness).
-                    normal.pop_front().or_else(|| high.pop_front())
+                    normal
+                        .pop_front()
+                        .or_else(|| high.pop_front())
+                        .or_else(|| maint.pop_front())
                 };
                 let Some(i) = task else { break };
                 let finish = now + self.tasks[i].weight;
@@ -225,7 +242,7 @@ impl TaskGraph {
                 for &TaskId(s) in &self.tasks[i].succs {
                     preds_left[s] -= 1;
                     if preds_left[s] == 0 {
-                        push_ready(s, &mut high, &mut normal);
+                        push_ready(s, &mut high, &mut normal, &mut maint);
                     }
                 }
             }
@@ -341,6 +358,46 @@ mod tests {
         // Both policies are greedy, so both satisfy the bound; weak priority
         // must not be worse than the bound either.
         assert!(greedy.makespan <= greedy.total_work / 2 + greedy.critical_path);
+    }
+
+    #[test]
+    fn maintenance_tasks_run_last_but_run() {
+        // One processor, one normal task and one maintenance task released
+        // together: the normal task must be picked first under both policies,
+        // and the maintenance task still completes (greedy schedulers leave
+        // no processor idle while work is ready).
+        let mut g = TaskGraph::new();
+        g.add_task(5, Priority::Maintenance);
+        g.add_task(3, Priority::Normal);
+        for policy in [SchedulePolicy::Greedy, SchedulePolicy::WeakPriority] {
+            let r = g.simulate(1, policy);
+            assert_eq!(r.makespan, 8, "both tasks must execute under {policy:?}");
+        }
+        // With enough processors maintenance runs immediately in parallel.
+        let r = g.simulate(2, SchedulePolicy::WeakPriority);
+        assert_eq!(r.makespan, 5);
+    }
+
+    #[test]
+    fn maintenance_never_delays_foreground_chain() {
+        // A chain of high tasks plus a flood of maintenance tasks on two
+        // processors: the high chain finishes in critical-path time because
+        // maintenance is only taken by otherwise-idle processors.
+        let mut g = TaskGraph::new();
+        let mut prev: Option<TaskId> = None;
+        for _ in 0..6 {
+            let t = g.add_task(4, Priority::High);
+            if let Some(p) = prev {
+                g.add_edge(p, t);
+            }
+            prev = Some(t);
+        }
+        for _ in 0..20 {
+            g.add_task(4, Priority::Maintenance);
+        }
+        let r = g.simulate(2, SchedulePolicy::WeakPriority);
+        assert!(r.makespan <= r.total_work / 2 + r.critical_path);
+        assert_eq!(r.tasks, 26);
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! performs `Θ(b log n)` work; the recursion is parallelised with
 //! `rayon::join` above a grain size in the `par_*` variants, which the
 //! concurrent front-ends use for wall-clock throughput.
+//!
+//! Both the point-loop and the divide-and-conquer paths count every node they
+//! visit through [`crate::cost::metered`], so the maps can charge measured
+//! work instead of the closed-form worst case.  The `par_*` variants count on
+//! whichever worker thread performs each half, so only the sequential paths
+//! (the ones the analytic charging uses) have exact per-call counts.
 
 use crate::node::Node;
 use crate::tree::Tree23;
@@ -343,6 +349,37 @@ mod tests {
         );
         assert_eq!(seq_tree.len(), par_tree.len());
         par_tree.check_invariants();
+    }
+
+    #[test]
+    fn metered_counts_track_batch_locality() {
+        use crate::cost::{batch_op, metered, MEASURED_CEILING};
+        let t: Tree23<u64, u64> = (0..4096u64).map(|i| (i, i)).collect();
+        // A clustered batch touches one subtree; a spread batch walks many
+        // paths — the measured counts must reflect that, and both must stay
+        // under the Lemma ceiling.
+        let clustered: Vec<u64> = (0..64u64).collect();
+        let spread: Vec<u64> = (0..64u64).map(|i| i * 64).collect();
+        let (_, clustered_touched) = metered(|| {
+            let mut t = t.clone();
+            t.batch_remove(&clustered)
+        });
+        let (_, spread_touched) = metered(|| {
+            let mut t = t.clone();
+            t.batch_remove(&spread)
+        });
+        assert!(
+            clustered_touched < spread_touched,
+            "clustered {clustered_touched} should touch fewer nodes than spread {spread_touched}"
+        );
+        let bound = batch_op(64, 4096).work;
+        assert!(clustered_touched <= MEASURED_CEILING * bound);
+        assert!(spread_touched <= MEASURED_CEILING * bound);
+        // The clustered case is where the measurement beats the closed form.
+        assert!(
+            clustered_touched < bound,
+            "clustered batch: measured {clustered_touched} should beat the bound {bound}"
+        );
     }
 
     #[test]

@@ -6,6 +6,14 @@
 //! (concatenate two trees whose key ranges do not interleave) and `split`
 //! (cut a tree at a key or at a rank), the classic building blocks for batch
 //! parallel operations on balanced trees.
+//!
+//! Every recursion step of the structural operations calls
+//! [`crate::cost::touch`] once, so [`crate::cost::metered`] observes the
+//! number of nodes an operation *actually* visited — the measured side of the
+//! measured-vs-bound charge split in [`crate::cost`].  Read-only diagnostic
+//! traversals (`for_each`, invariant checks) are deliberately uncounted.
+
+use crate::cost::touch;
 
 /// A node of the 2-3 tree: either a leaf holding an item or an internal node
 /// with 2–3 children of equal height.
@@ -80,6 +88,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
     /// right spine of `l`.  Returns one or two nodes of `l`'s height.
     fn attach_right(l: Node<K, V>, r: Node<K, V>) -> (Node<K, V>, Option<Node<K, V>>) {
         debug_assert!(l.height() > r.height());
+        touch(1);
         let Node::Internal(int) = l else {
             unreachable!("attach_right target must be internal")
         };
@@ -101,6 +110,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
     /// left spine of `r`.  Returns one or two nodes of `r`'s height.
     fn attach_left(l: Node<K, V>, r: Node<K, V>) -> (Node<K, V>, Option<Node<K, V>>) {
         debug_assert!(r.height() > l.height());
+        touch(1);
         let Node::Internal(int) = r else {
             unreachable!("attach_left target must be internal")
         };
@@ -122,6 +132,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
     /// guarantee strict ordering for distinct keys).
     pub fn join(l: Node<K, V>, r: Node<K, V>) -> Node<K, V> {
         use std::cmp::Ordering::*;
+        touch(1);
         match l.height().cmp(&r.height()) {
             Equal => Node::internal(vec![l, r]),
             Greater => {
@@ -155,6 +166,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
     /// right.
     #[allow(clippy::type_complexity)]
     pub fn split_at_key(self, key: &K) -> (Option<Node<K, V>>, Option<(K, V)>, Option<Node<K, V>>) {
+        touch(1);
         match self {
             Node::Leaf { key: k, val } => match key.cmp(&k) {
                 std::cmp::Ordering::Equal => (None, Some((k, val)), None),
@@ -193,6 +205,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
     /// the rest go right.
     #[allow(clippy::type_complexity)]
     pub fn split_at_rank(self, rank: usize) -> (Option<Node<K, V>>, Option<Node<K, V>>) {
+        touch(1);
         if rank == 0 {
             return (None, Some(self));
         }
@@ -245,6 +258,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
     /// unlike the split/join route it touches only the nodes on one spine and
     /// allocates at most one child vector per split.
     pub fn insert_point(&mut self, key: K, val: V) -> (Option<V>, Option<Node<K, V>>) {
+        touch(1);
         match self {
             Node::Leaf { key: k, val: v } => match key.cmp(k) {
                 std::cmp::Ordering::Equal => (Some(std::mem::replace(v, val)), None),
@@ -287,6 +301,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
     /// root) can repair that, exactly as with the overflow of
     /// [`Node::insert_point`].
     pub fn remove_point(int: &mut Internal<K, V>, key: &K) -> Option<(K, V)> {
+        touch(1);
         let idx = int.children.iter().position(|c| key <= c.max_key())?;
         let removed = if matches!(&int.children[idx], Node::Leaf { .. }) {
             match &int.children[idx] {
@@ -316,6 +331,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
     /// grandchild: borrow a grandchild from an adjacent 3-child sibling, or
     /// merge the lone grandchild into a 2-child sibling (dropping the child).
     fn fix_underflow(int: &mut Internal<K, V>, idx: usize) {
+        touch(1);
         let sib_idx = if idx > 0 { idx - 1 } else { idx + 1 };
         let lone = match &mut int.children[idx] {
             Node::Internal(c) => c.children.pop().expect("underflowing child has one child"),
@@ -370,6 +386,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
 
     /// Looks up `key`, returning a reference to its value.
     pub fn get<'a>(&'a self, key: &K) -> Option<&'a V> {
+        touch(1);
         match self {
             Node::Leaf { key: k, val } => (k == key).then_some(val),
             Node::Internal(int) => {
@@ -381,6 +398,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
 
     /// Looks up `key`, returning a mutable reference to its value.
     pub fn get_mut<'a>(&'a mut self, key: &K) -> Option<&'a mut V> {
+        touch(1);
         match self {
             Node::Leaf { key: k, val } => (k == key).then_some(val),
             Node::Internal(int) => {
@@ -392,6 +410,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
 
     /// The item with rank `idx` (0-based, in key order).
     pub fn select(&self, idx: usize) -> Option<(&K, &V)> {
+        touch(1);
         if idx >= self.size() {
             return None;
         }
@@ -412,6 +431,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
 
     /// In-order traversal into `out`.
     pub fn collect_into(self, out: &mut Vec<(K, V)>) {
+        touch(1);
         match self {
             Node::Leaf { key, val } => out.push((key, val)),
             Node::Internal(int) => {
@@ -439,6 +459,9 @@ impl<K: Ord + Clone, V> Node<K, V> {
         if items.is_empty() {
             return None;
         }
+        // A linear build touches every created leaf (internal nodes are a
+        // constant fraction on top, folded into the ceiling).
+        touch(items.len() as u64);
         let mut level: Vec<Node<K, V>> = items.into_iter().map(|(k, v)| Node::leaf(k, v)).collect();
         while level.len() > 1 {
             let mut next = Vec::with_capacity(level.len() / 2 + 1);

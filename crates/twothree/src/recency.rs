@@ -458,6 +458,36 @@ mod tests {
     }
 
     #[test]
+    fn metered_segment_transfers_stay_under_the_transfer_bound() {
+        use crate::cost::{metered, transfer, MEASURED_CEILING};
+        // The segment-cascade transfer shape: pop k off one map's back and
+        // push them onto another's front; the measured node visits must stay
+        // under the ceiling on the transfer bound the maps charge.
+        let mut a: RecencyMap<u64, u64> = RecencyMap::new();
+        let mut b: RecencyMap<u64, u64> = RecencyMap::new();
+        for i in 0..512u64 {
+            a.insert_back(i, i);
+        }
+        for i in 1000..1256u64 {
+            b.insert_back(i, i);
+        }
+        for k in [1usize, 4, 16, 64] {
+            let larger = a.len().max(b.len()) as u64;
+            let ((), touched) = metered(|| {
+                let moved = a.pop_back(k);
+                b.insert_front_batch(moved);
+            });
+            let bound = transfer(k as u64, larger).work;
+            assert!(
+                touched <= MEASURED_CEILING * bound,
+                "transfer of {k}: touched {touched} exceeds ceiling on bound {bound}"
+            );
+        }
+        a.check_invariants();
+        b.check_invariants();
+    }
+
+    #[test]
     fn get_batch_matches_get() {
         let mut m = RecencyMap::new();
         for i in (0..20u64).step_by(2) {

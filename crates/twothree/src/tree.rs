@@ -2,6 +2,7 @@
 //! structural (split/join/rank) operations.  Batch operations live in
 //! [`crate::batch`].
 
+use crate::cost::touch;
 use crate::node::Node;
 
 /// Take-counts at or below this size use repeated point removals instead of
@@ -96,6 +97,7 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
     pub fn insert(&mut self, key: K, val: V) -> Option<V> {
         match self.root.as_mut() {
             None => {
+                touch(1);
                 self.root = Some(Node::leaf(key, val));
                 None
             }
@@ -115,6 +117,7 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
     pub fn remove(&mut self, key: &K) -> Option<V> {
         match self.root.as_mut()? {
             Node::Leaf { key: k, .. } => {
+                touch(1);
                 if k == key {
                     match self.root.take() {
                         Some(Node::Leaf { val, .. }) => Some(val),
