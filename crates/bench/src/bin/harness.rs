@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! harness [e1|e3|e4|e6|e7|e8|e10|e12|e13|e14|e15|e16|e17|all] [--small] [--threads N]
+//! harness [e1|e3|e4|e6|e7|e8|e10|e12|e13|e14|e15|e16|e17|e18|all] [--small] [--threads N]
 //! ```
 //! With no experiment argument, all experiments run at their default
 //! (paper-shaped) sizes; `--small` shrinks them for a quick smoke run.
@@ -234,6 +234,18 @@ fn main() {
             small,
         );
     }
+    if run("e18") {
+        // E18 reads the thread-local tree-pass counter, so it runs directly
+        // on this thread (not through the pool wrapper).
+        let rows = bench::experiment_tree_passes(sizes.keyspace, sizes.operations / 2);
+        emit(
+            "e18",
+            "E18: tree passes per op (arena-fused RecencyMap: one key-map pass per segment op)",
+            &rows,
+            threads,
+            small,
+        );
+    }
     if run("e16") {
         // E16 spawns its own OS threads and a dedicated pool, like E15.
         let t = threads.unwrap_or(4).max(1);
@@ -321,7 +333,7 @@ fn parse_positive(flag: &str, value: &str) -> usize {
 fn usage_error(msg: &str) -> ! {
     eprintln!("harness: {msg}");
     eprintln!(
-        "usage: harness [e1|e3|e4|e6|e7|e8|e10|e12|e13|e14|e15|e16|e17|all] [--small] [--threads N]"
+        "usage: harness [e1|e3|e4|e6|e7|e8|e10|e12|e13|e14|e15|e16|e17|e18|all] [--small] [--threads N]"
     );
     std::process::exit(2);
 }

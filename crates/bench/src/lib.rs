@@ -797,6 +797,180 @@ pub fn experiment_cost_constants(keyspace: u64, operations: usize) -> Vec<Row> {
     let mut spec = WorkloadSpec::read_only(keyspace, operations, Pattern::Zipf(1.0), 19);
     spec.update_fraction = 0.4;
     record(&mut rows, "zipf s=1.0, 40% updates".to_string(), &spec);
+
+    // Regression gate (CI runs this experiment as a smoke step): cold uniform
+    // scans are the workload with the least locality, so their measured/bound
+    // ratio is the ceiling of the whole suite.  Under the two-tree RecencyMap
+    // it sat at ≈1.0 (two full tree passes per segment op ate the closed
+    // form's headroom); the arena-fused single-pass design holds it at ≈0.67.
+    // Fail loudly if it ever climbs back above 0.8.
+    let uniform = rows
+        .iter()
+        .find(|r| r.label == "uniform")
+        .expect("standard suite contains the uniform workload");
+    for which in ["M1 W/bound", "M2 W/bound"] {
+        let ratio = uniform
+            .values
+            .iter()
+            .find(|(k, _)| k == which)
+            .expect("ratio column present")
+            .1;
+        assert!(
+            ratio <= 0.8,
+            "uniform-scan {which} regressed to {ratio:.3} (> 0.8): segment ops \
+             are paying extra tree passes again"
+        );
+    }
+    rows
+}
+
+/// E18: tree passes per operation — the direct witness of the arena-fused
+/// `RecencyMap`.
+///
+/// The fused design's claim is structural: locating an item in the key-map
+/// yields its recency position for free (the arena index *is* the paper's
+/// direct pointer), so every segment operation drives **one** tree where the
+/// old stamp-keyed two-tree design drove two — tree passes halve on every
+/// path (small batches go through the point loop at one counted traversal
+/// per item, on one tree instead of two).
+/// `wsm_twothree::cost::tree_passes` counts root-originating `Tree23`
+/// traversals; this experiment records, per structure and workload, the
+/// passes and touched nodes per map operation, plus a micro row family
+/// measuring isolated segment-op shapes at `b = 64` — the
+/// divide-and-conquer regime, where the counts are exact small integers: 1
+/// pass for a one-sided op (batch removal, batch push, an eviction take), 2
+/// for a transfer (take + push), where the two-tree design paid 2 and 4.
+///
+/// Results are persisted to `BENCH_e18.json` so the constant-factor drop is
+/// a tracked regression, not a one-off PR note.
+pub fn experiment_tree_passes(keyspace: u64, operations: usize) -> Vec<Row> {
+    use wsm_twothree::cost as tcost;
+    use wsm_twothree::RecencyMap;
+    let p = 4;
+    let mut rows = Vec::new();
+
+    // Map-level rows: passes/op across whole workloads (sequential
+    // run_batched, so the thread-local pass counter sees every tree op).
+    let suite = [
+        (
+            "uniform",
+            WorkloadSpec::read_only(keyspace, operations, Pattern::Uniform, 23),
+        ),
+        (
+            "hot-set (8 keys, 2% miss)",
+            WorkloadSpec::read_only(
+                keyspace,
+                operations,
+                Pattern::HotSet {
+                    hot: 8,
+                    miss_rate: 0.02,
+                },
+                23,
+            ),
+        ),
+        (
+            "zipf s=1.1",
+            WorkloadSpec::read_only(keyspace, operations, Pattern::Zipf(1.1), 23),
+        ),
+    ];
+    for (name, spec) in suite {
+        let ops = spec.full_sequence();
+        let total_ops = ops.len() as f64;
+        let mut m1 = M1::new(p);
+        tcost::reset_tree_passes();
+        run_batched(&mut m1, &ops, p * p);
+        let m1_passes = tcost::tree_passes() as f64;
+        let mut m2 = M2::new(p);
+        tcost::reset_tree_passes();
+        run_batched(&mut m2, &ops, p * p);
+        let m2_passes = tcost::tree_passes() as f64;
+        tcost::reset_tree_passes();
+        rows.push(Row::new(
+            format!("{name} M1"),
+            vec![
+                ("ops", total_ops),
+                ("tree passes", m1_passes),
+                ("passes/op", m1_passes / total_ops),
+                ("W/op", m1.effective_work() as f64 / total_ops),
+            ],
+        ));
+        rows.push(Row::new(
+            format!("{name} M2"),
+            vec![
+                ("ops", total_ops),
+                ("tree passes", m2_passes),
+                ("passes/op", m2_passes / total_ops),
+                ("W/op", m2.effective_work() as f64 / total_ops),
+            ],
+        ));
+    }
+
+    // Micro rows: isolated segment-op shapes with exact pass counts.
+    let build = |n: u64| -> RecencyMap<u64, u64> {
+        let mut m = RecencyMap::new();
+        for i in 0..n {
+            m.insert_back(i, i);
+        }
+        m
+    };
+    let mut m = build(512);
+    let keys: Vec<u64> = (0..64u64).map(|i| i * 8).collect();
+    tcost::reset_tree_passes();
+    let removed_items: Vec<(u64, u64)> = keys
+        .iter()
+        .zip(m.remove_batch(&keys))
+        .map(|(&k, v)| (k, v.expect("key present")))
+        .collect();
+    let remove_passes = tcost::tree_passes() as f64;
+    rows.push(Row::new(
+        "segment remove_batch b=64 n=512",
+        vec![
+            ("ops", 1.0),
+            ("tree passes", remove_passes),
+            ("passes/op", remove_passes),
+            ("W/op", 0.0),
+        ],
+    ));
+    tcost::reset_tree_passes();
+    m.push_front_batch(removed_items);
+    let push_passes = tcost::tree_passes() as f64;
+    rows.push(Row::new(
+        "segment push_front_batch b=64 n=512",
+        vec![
+            ("ops", 1.0),
+            ("tree passes", push_passes),
+            ("passes/op", push_passes),
+            ("W/op", 0.0),
+        ],
+    ));
+    let mut dest = build(256);
+    tcost::reset_tree_passes();
+    let moved = m.take_back(64);
+    dest.push_front_batch(moved.into_iter().map(|(k, v)| (k + 10_000, v)).collect());
+    let transfer_passes = tcost::tree_passes() as f64;
+    rows.push(Row::new(
+        "segment transfer k=64 (take_back + push_front)",
+        vec![
+            ("ops", 1.0),
+            ("tree passes", transfer_passes),
+            ("passes/op", transfer_passes),
+            ("W/op", 0.0),
+        ],
+    ));
+    tcost::reset_tree_passes();
+    let evicted = m.take_front(64);
+    let evict_passes = tcost::tree_passes() as f64;
+    assert_eq!(evicted.len(), 64);
+    rows.push(Row::new(
+        "segment take_front k=64 (eviction)",
+        vec![
+            ("ops", 1.0),
+            ("tree passes", evict_passes),
+            ("passes/op", evict_passes),
+            ("W/op", 0.0),
+        ],
+    ));
+    tcost::reset_tree_passes();
     rows
 }
 
@@ -940,6 +1114,55 @@ mod tests {
             assert!(
                 maint >= 0.0 && maint.is_finite(),
                 "{}: malformed maintenance-run count {maint}",
+                row.label
+            );
+        }
+    }
+
+    #[test]
+    fn tree_passes_experiment_pins_single_pass_segment_ops() {
+        let rows = experiment_tree_passes(1 << 9, 1 << 11);
+        // 3 workloads x 2 structures + 4 micro rows.
+        assert_eq!(rows.len(), 10);
+        let get = |label: &str, key: &str| -> f64 {
+            rows.iter()
+                .find(|r| r.label == label)
+                .unwrap_or_else(|| panic!("row {label} missing"))
+                .values
+                .iter()
+                .find(|(k, _)| k == key)
+                .unwrap()
+                .1
+        };
+        // The micro rows are exact: one-sided segment ops are one tree pass,
+        // a transfer is two (the two-tree design paid 2 and 4).
+        assert_eq!(get("segment remove_batch b=64 n=512", "tree passes"), 1.0);
+        assert_eq!(
+            get("segment push_front_batch b=64 n=512", "tree passes"),
+            1.0
+        );
+        assert_eq!(
+            get(
+                "segment transfer k=64 (take_back + push_front)",
+                "tree passes"
+            ),
+            2.0
+        );
+        assert_eq!(
+            get("segment take_front k=64 (eviction)", "tree passes"),
+            1.0
+        );
+        // Workload-level pass counts are positive and finite.
+        for row in &rows {
+            let passes = row
+                .values
+                .iter()
+                .find(|(k, _)| k == "tree passes")
+                .unwrap()
+                .1;
+            assert!(
+                passes >= 1.0 && passes.is_finite(),
+                "{}: malformed pass count {passes}",
                 row.label
             );
         }

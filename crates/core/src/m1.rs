@@ -269,9 +269,11 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
             let dest = k.saturating_sub(1);
             if !shift.is_empty() {
                 let shift_len = shift.len() as u64;
-                let dest_len = self.segments[dest].len() as u64;
+                // Insert bound on the final size: the tree grows to
+                // dest_len + shift_len during the batch.
+                let dest_len = self.segments[dest].len() as u64 + shift_len;
                 let dest_seg = &mut self.segments[dest];
-                let ((), touched) = tcost::metered(|| dest_seg.insert_front_batch(shift));
+                let ((), touched) = tcost::metered(|| dest_seg.push_front_batch(shift));
                 cost += tcost::batch_op_charge(touched, shift_len, dest_len);
             }
             cost += self.restore_prefixes(k);
@@ -318,7 +320,9 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
         let prev = &mut left[i - 1];
         let next = &mut right[0];
         let ((), touched) = tcost::metered(|| mv(prev, next, count));
-        tcost::transfer_charge(touched, count as u64, larger)
+        // The receiving segment grows to its size + count during the insert
+        // half of the transfer, so the bound covers the final size.
+        tcost::transfer_charge(touched, count as u64, larger + count as u64)
     }
 
     /// Total capacity of segments `S[0..i-1]` (saturating).
@@ -342,14 +346,14 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
         if current > target {
             let x = (current - target) as usize;
             self.metered_transfer(i, x, larger, |prev, next, x| {
-                let moved = prev.pop_back(x);
-                next.insert_front_batch(moved);
+                let moved = prev.take_back(x);
+                next.push_front_batch(moved);
             })
         } else if current < target && !self.segments[i].is_empty() {
             let x = ((target - current) as usize).min(self.segments[i].len());
             self.metered_transfer(i, x, larger, |prev, next, x| {
-                let moved = next.pop_front(x);
-                prev.insert_back_batch(moved);
+                let moved = next.take_front(x);
+                prev.push_back_batch(moved);
             })
         } else {
             Charge::ZERO
@@ -382,9 +386,10 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
         self.size += items.len();
         let mut l = self.segments.len() - 1;
         let items_len = items.len() as u64;
-        let seg_len = self.segments[l].len() as u64;
+        // Insert bound on the final size (the tree grows during the batch).
+        let seg_len = self.segments[l].len() as u64 + items_len;
         let seg = &mut self.segments[l];
-        let ((), touched) = tcost::metered(|| seg.insert_back_batch(items));
+        let ((), touched) = tcost::metered(|| seg.push_back_batch(items));
         cost += tcost::batch_op_charge(touched, items_len, seg_len);
         while self.segments[l].len() as u64 > segment_capacity(l as u32) {
             let excess = (self.segments[l].len() as u64 - segment_capacity(l as u32)) as usize;
@@ -392,8 +397,8 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
             self.segments.push(RecencyMap::new());
             l += 1;
             cost += self.metered_transfer(l, excess, larger, |prev, next, x| {
-                let moved = prev.pop_back(x);
-                next.insert_front_batch(moved);
+                let moved = prev.take_back(x);
+                next.push_front_batch(moved);
             });
         }
         cost

@@ -404,9 +404,11 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
             let dest = k.saturating_sub(1);
             if !shift.is_empty() {
                 let shift_len = shift.len() as u64;
-                let dest_len = self.segments[dest].len() as u64;
+                // Insert bound on the final size: the tree grows to
+                // dest_len + shift_len during the batch.
+                let dest_len = self.segments[dest].len() as u64 + shift_len;
                 let dest_seg = &mut self.segments[dest];
-                let ((), touched) = tcost::metered(|| dest_seg.insert_front_batch(shift));
+                let ((), touched) = tcost::metered(|| dest_seg.push_front_batch(shift));
                 cost += tcost::batch_op_charge(touched, shift_len, dest_len);
             }
             // Restore the prefix capacity invariant inside the first slab only
@@ -447,7 +449,9 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
             self.drop_empty_tail();
         } else if !groups.is_empty() {
             // Step 4: pass the unfinished operations through the filter.
-            let filter_len = self.filter.len() as u64;
+            // Insert bound on the final size: the filter can gain up to one
+            // entry per group during the pass.
+            let filter_len = self.filter.len() as u64 + groups.len() as u64;
             let group_count = groups.len() as u64;
             let filter = &mut self.filter;
             let (new_tokens, touched) = tcost::metered(|| {
@@ -645,9 +649,10 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
         // S[m'].
         if !front_inserts.is_empty() {
             let front_len = front_inserts.len() as u64;
-            let dest_len = self.segments[dest].len() as u64;
+            // Insert bound on the final size (the tree grows by front_len).
+            let dest_len = self.segments[dest].len() as u64 + front_len;
             let dest_seg = &mut self.segments[dest];
-            let ((), touched) = tcost::metered(|| dest_seg.insert_front_batch(front_inserts));
+            let ((), touched) = tcost::metered(|| dest_seg.push_front_batch(front_inserts));
             cost += tcost::batch_op_charge(touched, front_len, dest_len);
         }
 
@@ -715,8 +720,8 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
         if prev_len > cap_prev {
             let x = (prev_len - cap_prev) as usize;
             let charge = self.metered_transfer(k, x, larger, |prev, next, x| {
-                let moved = prev.pop_back(x);
-                next.insert_front_batch(moved);
+                let moved = prev.take_back(x);
+                next.push_front_batch(moved);
             });
             (charge, false)
         } else if prev_len < cap_prev && !self.segments[k].is_empty() {
@@ -726,8 +731,8 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
             let x = deficit.min(self.segments[k].len());
             let clamped = x < deficit && self.segments[k + 1..].iter().any(|s| !s.is_empty());
             let charge = self.metered_transfer(k, x, larger, |prev, next, x| {
-                let moved = next.pop_front(x);
-                prev.insert_back_batch(moved);
+                let moved = next.take_front(x);
+                prev.push_back_batch(moved);
             });
             (charge, clamped)
         } else {
@@ -753,7 +758,9 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
         let prev = &mut left[k - 1];
         let next = &mut right[0];
         let ((), touched) = tcost::metered(|| mv(prev, next, count));
-        tcost::transfer_charge(touched, count as u64, larger)
+        // The receiving segment grows to its size + count during the insert
+        // half of the transfer, so the bound covers the final size.
+        tcost::transfer_charge(touched, count as u64, larger + count as u64)
     }
 
     // ------------------------------------------------------------------
@@ -777,14 +784,14 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
         if current > target {
             let x = (current - target) as usize;
             self.metered_transfer(i, x, larger, |prev, next, x| {
-                let moved = prev.pop_back(x);
-                next.insert_front_batch(moved);
+                let moved = prev.take_back(x);
+                next.push_front_batch(moved);
             })
         } else if current < target && !self.segments[i].is_empty() {
             let x = ((target - current) as usize).min(self.segments[i].len());
             self.metered_transfer(i, x, larger, |prev, next, x| {
-                let moved = next.pop_front(x);
-                prev.insert_back_batch(moved);
+                let moved = next.take_front(x);
+                prev.push_back_batch(moved);
             })
         } else {
             Charge::ZERO
@@ -809,9 +816,10 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
         self.size += items.len();
         let mut l = self.segments.len() - 1;
         let items_len = items.len() as u64;
-        let seg_len = self.segments[l].len() as u64;
+        // Insert bound on the final size (the tree grows during the batch).
+        let seg_len = self.segments[l].len() as u64 + items_len;
         let seg = &mut self.segments[l];
-        let ((), touched) = tcost::metered(|| seg.insert_back_batch(items));
+        let ((), touched) = tcost::metered(|| seg.push_back_batch(items));
         cost += tcost::batch_op_charge(touched, items_len, seg_len);
         while self.segments[l].len() as u64 > segment_capacity(l as u32) {
             let excess = (self.segments[l].len() as u64 - segment_capacity(l as u32)) as usize;
@@ -819,8 +827,8 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
             self.segments.push(RecencyMap::new());
             l += 1;
             cost += self.metered_transfer(l, excess, larger, |prev, next, x| {
-                let moved = prev.pop_back(x);
-                next.insert_front_batch(moved);
+                let moved = prev.take_back(x);
+                next.push_front_batch(moved);
             });
         }
         self.ensure_final_slab_state();

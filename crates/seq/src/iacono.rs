@@ -78,10 +78,10 @@ impl<K: Ord + Clone, V: Clone> IaconoMap<K, V> {
         let mut i = from;
         while i < self.trees.len() {
             if self.trees[i].len() as u64 > segment_capacity(i as u32) {
-                let demoted = self.trees[i].pop_back(1);
+                let demoted = self.trees[i].take_back(1);
                 cost += tcost::transfer(1, self.trees[i].len() as u64 + 1);
                 self.ensure_tree(i + 1);
-                self.trees[i + 1].insert_front_batch(demoted);
+                self.trees[i + 1].push_front_batch(demoted);
             }
             i += 1;
         }
@@ -160,9 +160,9 @@ impl<K: Ord + Clone, V: Clone> IaconoMap<K, V> {
         let val = self.trees[k].remove(key);
         let l = self.trees.len();
         for i in k..l.saturating_sub(1) {
-            let pulled = self.trees[i + 1].pop_front(1);
+            let pulled = self.trees[i + 1].take_front(1);
             cost += tcost::transfer(1, self.trees[i + 1].len() as u64 + 1);
-            self.trees[i].insert_back_batch(pulled);
+            self.trees[i].push_back_batch(pulled);
         }
         while matches!(self.trees.last(), Some(t) if t.is_empty()) {
             self.trees.pop();

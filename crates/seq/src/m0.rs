@@ -15,7 +15,7 @@ use wsm_twothree::{cost as tcost, RecencyMap};
 
 /// The amortized sequential working-set map of Section 5.
 ///
-/// Each segment is a [`RecencyMap`] (key-map + recency-map pair).  Every
+/// Each segment is a [`RecencyMap`] (arena-fused key/recency map).  Every
 /// operation returns the analytic cost charged for it; the running total is
 /// available through [`InstrumentedMap::total_cost`].
 #[derive(Clone, Debug, Default)]
@@ -90,9 +90,9 @@ impl<K: Ord + Clone, V: Clone> M0<K, V> {
             cost += tcost::single_op(self.segments[k - 1].len() as u64);
             self.segments[k - 1].insert_front(key.clone(), val.clone());
             if self.segments[k - 1].len() as u64 > segment_capacity((k - 1) as u32) {
-                let shifted = self.segments[k - 1].pop_back(1);
+                let shifted = self.segments[k - 1].take_back(1);
                 cost += tcost::transfer(1, self.segments[k - 1].len() as u64 + 1);
-                self.segments[k].insert_front_batch(shifted);
+                self.segments[k].push_front_batch(shifted);
             }
         }
         self.charge(cost);
@@ -156,9 +156,9 @@ impl<K: Ord + Clone, V: Clone> M0<K, V> {
         // S[i+1] to the back of S[i].
         let l = self.segments.len();
         for i in k..l.saturating_sub(1) {
-            let pulled = self.segments[i + 1].pop_front(1);
+            let pulled = self.segments[i + 1].take_front(1);
             cost += tcost::transfer(1, self.segments[i + 1].len() as u64 + 1);
-            self.segments[i].insert_back_batch(pulled);
+            self.segments[i].push_back_batch(pulled);
         }
         // Drop a now-empty terminal segment.
         while matches!(self.segments.last(), Some(s) if s.is_empty()) {
@@ -180,7 +180,8 @@ impl<K: Ord + Clone, V: Clone> M0<K, V> {
     }
 
     /// Checks the structural invariants of Section 5: every segment except the
-    /// last is exactly full, and the two trees of every segment agree.
+    /// last is exactly full, and every segment's key-map, arena and recency
+    /// list agree.
     pub fn check_invariants(&self)
     where
         K: std::fmt::Debug,

@@ -14,6 +14,7 @@
 //! whichever worker thread performs each half, so only the sequential paths
 //! (the ones the analytic charging uses) have exact per-call counts.
 
+use crate::cost::pass;
 use crate::node::Node;
 use crate::tree::Tree23;
 
@@ -37,6 +38,23 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
         keys.iter().map(|k| self.get(k)).collect()
     }
 
+    /// Like [`Tree23::batch_remove`] but discards the stored keys, returning
+    /// only the removed values.  The arena-fused recency map uses this on its
+    /// take paths, where the caller already owns the keys (they came off the
+    /// intrusive recency list) and the per-item key clone of the point-loop
+    /// path would be pure waste.
+    pub fn batch_remove_values(&mut self, keys: &[K]) -> Vec<Option<V>> {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "batch must be sorted");
+        if keys.len() <= POINT_BATCH {
+            return keys.iter().map(|k| self.remove(k)).collect();
+        }
+        pass();
+        let root = self.root.take();
+        let (root, removed) = batch_remove_node(root, keys);
+        self.root = root;
+        removed.into_iter().map(|r| r.map(|(_, v)| v)).collect()
+    }
+
     /// Inserts a sorted batch of distinct keys.  Returns, per item, the value
     /// previously stored under that key (if any).
     pub fn batch_insert(&mut self, items: Vec<(K, V)>) -> Vec<Option<V>> {
@@ -47,6 +65,7 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
         if items.len() <= POINT_BATCH {
             return items.into_iter().map(|(k, v)| self.insert(k, v)).collect();
         }
+        pass();
         let root = self.root.take();
         let (root, replaced) = batch_insert_node(root, items);
         self.root = root;
@@ -63,6 +82,7 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
                 .map(|k| self.remove(k).map(|v| (k.clone(), v)))
                 .collect();
         }
+        pass();
         let root = self.root.take();
         let (root, removed) = batch_remove_node(root, keys);
         self.root = root;
@@ -86,6 +106,7 @@ impl<K: Ord + Clone + Send + Sync, V: Send + Sync> Tree23<K, V> {
             items.windows(2).all(|w| w[0].0 < w[1].0),
             "batch must be sorted with distinct keys"
         );
+        pass();
         let root = self.root.take();
         let (root, replaced) = par_batch_insert_node(root, items);
         self.root = root;
@@ -95,6 +116,7 @@ impl<K: Ord + Clone + Send + Sync, V: Send + Sync> Tree23<K, V> {
     /// Parallel variant of [`Tree23::batch_remove`].
     pub fn par_batch_remove(&mut self, keys: &[K]) -> Vec<Option<(K, V)>> {
         debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "batch must be sorted");
+        pass();
         let root = self.root.take();
         let (root, removed) = par_batch_remove_node(root, keys);
         self.root = root;

@@ -17,10 +17,14 @@
 //! * [`Tree23`] — a leaf-based 2-3 tree with join/split based single and batch
 //!   operations (batch get / insert / remove, split by rank, take-front/back),
 //!   parallelised with rayon above a grain size;
-//! * [`RecencyMap`] — the key-map + recency-map pair used by every segment of
-//!   M0, M1 and M2.  Instead of the paper's cross-linked leaf pointers it keys
-//!   the recency-map by a monotone recency stamp (see DESIGN.md substitution
-//!   #3), which preserves the `Θ(b log n)` work / `O(log b + log n)` span
+//! * [`RecencyMap`] — the arena-fused key/recency map used by every segment
+//!   of M0, M1 and M2: one key-ordered [`Tree23`] over a slab arena whose
+//!   slots carry an intrusive doubly-linked recency list, realising the
+//!   paper's cross-linked direct pointers without `unsafe`.  Every segment
+//!   operation drives **one** tree — half the tree passes of the old
+//!   stamp-keyed two-tree substitution on every path (one D&C sweep per
+//!   large batch, one point traversal per item on the small-batch point
+//!   loop) — within the same `Θ(b log n)` work / `O(log b + log n)` span
 //!   contract;
 //! * [`cost`] — the analytic cost formulas of Appendix A.2 used by the
 //!   instrumented map structures.

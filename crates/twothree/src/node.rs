@@ -10,8 +10,12 @@
 //! Every recursion step of the structural operations calls
 //! [`crate::cost::touch`] once, so [`crate::cost::metered`] observes the
 //! number of nodes an operation *actually* visited — the measured side of the
-//! measured-vs-bound charge split in [`crate::cost`].  Read-only diagnostic
-//! traversals (`for_each`, invariant checks) are deliberately uncounted.
+//! measured-vs-bound charge split in [`crate::cost`].  Whole root-originating
+//! traversals are counted separately as *passes* at the [`crate::Tree23`]
+//! entry points (`cost::tree_passes`), which is how E18 witnesses that the
+//! arena-fused recency map drives one pass per segment op.  Read-only
+//! diagnostic traversals (`for_each`, invariant checks) are deliberately
+//! uncounted by either counter.
 
 use crate::cost::touch;
 

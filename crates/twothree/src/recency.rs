@@ -1,49 +1,75 @@
-//! The key-map / recency-map pair that backs every segment of the working-set
-//! maps.
+//! The arena-fused key/recency map that backs every segment of the
+//! working-set maps.
 //!
 //! In the paper (Sections 5 and 6.1) every segment stores its items in two
-//! balanced trees — one sorted by key and one sorted by recency — whose leaves
-//! are cross-linked by direct pointers so that a batch found in one map can be
-//! located in the other by reverse indexing.  [`RecencyMap`] realises the same
-//! interface by tagging every item with a monotone *recency stamp*: the
-//! key-map stores `key -> (stamp, value)` and the recency-map stores
-//! `stamp -> key`.  Smaller stamps are more recent ("closer to the front" of
-//! the segment).  See DESIGN.md substitution #3 for why this preserves the
-//! paper's cost bounds.
+//! balanced trees — one sorted by key and one sorted by recency — whose
+//! leaves are cross-linked by direct pointers so that a batch located in one
+//! order can be updated in the other at O(1) per item.  Earlier revisions of
+//! this crate substituted a monotone *recency stamp* for the cross-links
+//! (key-map `key → (stamp, value)`, recency-map `stamp → key`), which
+//! preserved the asymptotic bounds but made every segment operation pay
+//! **two** full tree passes — one per tree.
+//!
+//! [`RecencyMap`] now realises the paper's pointer design directly, without
+//! `unsafe`: items live in a slab **arena** (`Vec<Slot>`), the single
+//! key-ordered [`Tree23`] stores *arena indices*, and the recency order is an
+//! intrusive doubly-linked list threaded through the arena slots via `usize`
+//! links.  Locating an item by key therefore yields its recency position for
+//! free — exactly the paper's direct pointer:
+//!
+//! * move-to-front and unlink-on-remove are O(1) splices,
+//! * [`RecencyMap::push_front_batch`] / [`RecencyMap::push_back_batch`] are
+//!   O(b) chain splices plus **one** key-map pass,
+//! * [`RecencyMap::take_front`] / [`RecencyMap::take_back`] walk the list
+//!   instead of searching a stamp tree, then clear the keys with one
+//!   key-ordered batch removal.
+//!
+//! Every segment operation thus drives **one** tree where the stamp design
+//! drove two — its tree passes are halved on every path: one
+//! divide-and-conquer sweep per batch above `batch::POINT_BATCH`, one point
+//! traversal per item below it (the stamp design paid the same shape on
+//! *both* trees).  The O(1)-per-item list work is metered as one
+//! [`crate::cost::touch`] per splice so measured charges stay honest.  The
+//! measured effect is tracked by experiment E18 (tree-passes-per-op) and the
+//! E17 constants (`BENCH_e17*.json`).
 
+use crate::cost::touch;
 use crate::tree::Tree23;
 
-/// Batch insertions at or below this size go through the single-item
-/// (point-update) path instead of building stamped vectors for the tree
-/// batch machinery; see `batch::POINT_BATCH` for the underlying trade-off.
-const POINT_INSERT_BATCH: usize = 8;
+/// Null arena index: end of the recency list / free list.
+const NIL: usize = usize::MAX;
 
-/// Value entry of the key-map: the item's value plus its recency stamp.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Entry<V> {
-    /// Recency stamp; smaller means more recent (closer to the front).
-    pub stamp: i64,
-    /// The stored value.
-    pub val: V,
+/// One arena slot: the intrusive recency links plus the item.  A free slot
+/// holds `None` and reuses `next` as its free-list link.
+#[derive(Clone, Debug)]
+struct Slot<K, V> {
+    prev: usize,
+    next: usize,
+    item: Option<(K, V)>,
 }
 
 /// An ordered-by-key and ordered-by-recency map: the building block of every
 /// segment in M0, M1 and M2.
 ///
 /// "Front" always means *most recent*; "back" means *least recent*.  Items
-/// taken from one `RecencyMap` and pushed to the front or back of another keep
-/// their relative recency order, which is what the segment cascade of the
-/// working-set maps requires.
+/// taken from one `RecencyMap` and pushed to the front or back of another
+/// keep their relative recency order, which is what the segment cascade of
+/// the working-set maps requires.
 #[derive(Clone, Debug)]
 pub struct RecencyMap<K, V> {
-    key_map: Tree23<K, Entry<V>>,
-    rec_map: Tree23<i64, K>,
-    /// Next (unused) stamp for front insertion; strictly smaller than every
-    /// stamp in use.
-    front_next: i64,
-    /// Next (unused) stamp for back insertion; strictly larger than every
-    /// stamp in use.
-    back_next: i64,
+    /// Key order: `key → arena index`, one balanced tree — the only tree.
+    key_map: Tree23<K, usize>,
+    /// The arena.  Live slots are threaded into the recency list; free slots
+    /// are threaded into the free list.
+    slots: Vec<Slot<K, V>>,
+    /// Most recent item (list head), `NIL` when empty.
+    head: usize,
+    /// Least recent item (list tail), `NIL` when empty.
+    tail: usize,
+    /// Head of the free-slot list, `NIL` when none.
+    free: usize,
+    /// Number of live items.
+    len: usize,
 }
 
 impl<K: Ord + Clone, V: Clone> Default for RecencyMap<K, V> {
@@ -57,31 +83,49 @@ impl<K: Ord + Clone, V: Clone> RecencyMap<K, V> {
     pub fn new() -> Self {
         RecencyMap {
             key_map: Tree23::new(),
-            rec_map: Tree23::new(),
-            front_next: -1,
-            back_next: 0,
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            free: NIL,
+            len: 0,
         }
     }
 
     /// Number of items.
     pub fn len(&self) -> usize {
-        debug_assert_eq!(self.key_map.len(), self.rec_map.len());
-        self.key_map.len()
+        self.len
     }
 
     /// True if the map holds no items.
     pub fn is_empty(&self) -> bool {
-        self.key_map.is_empty()
+        self.len == 0
+    }
+
+    fn slot_item(&self, idx: usize) -> &(K, V) {
+        self.slots[idx]
+            .item
+            .as_ref()
+            .expect("key-map points at a live arena slot")
+    }
+
+    fn slot_key(&self, idx: usize) -> &K {
+        &self.slot_item(idx).0
     }
 
     /// Looks up a key.
     pub fn get(&self, key: &K) -> Option<&V> {
-        self.key_map.get(key).map(|e| &e.val)
+        let idx = *self.key_map.get(key)?;
+        Some(&self.slot_item(idx).1)
     }
 
     /// Looks up a key, returning a mutable reference to its value.
     pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
-        self.key_map.get_mut(key).map(|e| &mut e.val)
+        let idx = *self.key_map.get(key)?;
+        let (_, val) = self.slots[idx]
+            .item
+            .as_mut()
+            .expect("key-map points at a live arena slot");
+        Some(val)
     }
 
     /// True if the key is present.
@@ -94,202 +138,418 @@ impl<K: Ord + Clone, V: Clone> RecencyMap<K, V> {
         self.key_map
             .batch_get(keys)
             .into_iter()
-            .map(|e| e.map(|e| &e.val))
+            .map(|idx| idx.map(|&idx| &self.slot_item(idx).1))
             .collect()
     }
 
     /// The recency rank of a key: 0 for the most recent item, `len - 1` for
-    /// the least recent.  `None` if absent.  (Linear scan of the recency map
-    /// is avoided by splitting at the item's stamp.)
+    /// the least recent.  `None` if absent.  Costs O(log n + rank): the
+    /// key-map lookup yields the arena slot, then the list is walked from the
+    /// front until the slot is reached.
     pub fn recency_rank(&self, key: &K) -> Option<usize> {
-        let stamp = self.key_map.get(key)?.stamp;
-        // Count items with a strictly smaller stamp.
+        let idx = *self.key_map.get(key)?;
         let mut rank = 0usize;
-        self.rec_map.for_each(|s, _| {
-            if *s < stamp {
-                rank += 1;
-            }
-        });
+        let mut cur = self.head;
+        while cur != idx {
+            touch(1);
+            rank += 1;
+            cur = self.slots[cur].next;
+            debug_assert!(cur != NIL, "keyed slot must be on the recency list");
+        }
         Some(rank)
     }
 
-    fn next_front_stamps(&mut self, m: usize) -> std::ops::Range<i64> {
-        let m = m as i64;
-        let start = self.front_next - (m - 1);
-        self.front_next -= m;
-        start..(start + m)
+    // ------------------------------------------------------------------
+    // Arena + intrusive-list primitives (all O(1), metered one touch per
+    // splice so measured segment charges include the list work)
+    // ------------------------------------------------------------------
+
+    /// Takes a slot off the free list (or grows the arena) and fills it.
+    /// The returned slot is *not* linked into the recency list.
+    fn alloc(&mut self, key: K, val: V) -> usize {
+        match self.free {
+            NIL => {
+                self.slots.push(Slot {
+                    prev: NIL,
+                    next: NIL,
+                    item: Some((key, val)),
+                });
+                self.slots.len() - 1
+            }
+            idx => {
+                self.free = self.slots[idx].next;
+                let slot = &mut self.slots[idx];
+                slot.prev = NIL;
+                slot.next = NIL;
+                slot.item = Some((key, val));
+                idx
+            }
+        }
     }
 
-    fn next_back_stamps(&mut self, m: usize) -> std::ops::Range<i64> {
-        let m = m as i64;
-        let start = self.back_next;
-        self.back_next += m;
-        start..(start + m)
+    /// Vacates a slot (which must already be unlinked from the recency list)
+    /// onto the free list, returning its item.
+    fn release(&mut self, idx: usize) -> (K, V) {
+        let item = self.slots[idx].item.take().expect("releasing a live slot");
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.free;
+        self.free = idx;
+        item
     }
+
+    /// Splices `idx` out of the recency list.
+    fn unlink(&mut self, idx: usize) {
+        touch(1);
+        let Slot { prev, next, .. } = self.slots[idx];
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    /// Links `idx` (currently unlinked) at the front of the recency list.
+    fn link_front(&mut self, idx: usize) {
+        touch(1);
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        match self.head {
+            NIL => self.tail = idx,
+            h => self.slots[h].prev = idx,
+        }
+        self.head = idx;
+    }
+
+    /// Links `idx` (currently unlinked) at the back of the recency list.
+    fn link_back(&mut self, idx: usize) {
+        touch(1);
+        self.slots[idx].next = NIL;
+        self.slots[idx].prev = self.tail;
+        match self.tail {
+            NIL => self.head = idx,
+            t => self.slots[t].next = idx,
+        }
+        self.tail = idx;
+    }
+
+    /// Allocates slots for `items` and chains them together in the given
+    /// order, returning `(first, last)` of the chain and pushing
+    /// `(key, index)` pairs (in item order) into `tree_items`.
+    fn alloc_chain(
+        &mut self,
+        items: Vec<(K, V)>,
+        tree_items: &mut Vec<(K, usize)>,
+    ) -> (usize, usize) {
+        let mut first = NIL;
+        let mut last = NIL;
+        for (k, v) in items {
+            let idx = self.alloc(k.clone(), v);
+            touch(1);
+            tree_items.push((k, idx));
+            if first == NIL {
+                first = idx;
+            } else {
+                self.slots[last].next = idx;
+                self.slots[idx].prev = last;
+            }
+            last = idx;
+        }
+        (first, last)
+    }
+
+    /// Splices a prepared chain (`first..last`, already internally linked)
+    /// before the current head.
+    fn splice_chain_front(&mut self, first: usize, last: usize) {
+        self.slots[last].next = self.head;
+        match self.head {
+            NIL => self.tail = last,
+            h => self.slots[h].prev = last,
+        }
+        self.head = first;
+    }
+
+    /// Splices a prepared chain (`first..last`) after the current tail.
+    fn splice_chain_back(&mut self, first: usize, last: usize) {
+        self.slots[first].prev = self.tail;
+        match self.tail {
+            NIL => self.head = first,
+            t => self.slots[t].next = first,
+        }
+        self.tail = last;
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion
+    // ------------------------------------------------------------------
 
     /// Inserts (or replaces) one item as the most recent.
     ///
-    /// Single-pass update: the key-map traversal that finds the previous
-    /// entry *is* the traversal that writes the new one (`Tree23::insert`
-    /// replaces in place), so a fresh insert costs two tree operations and a
-    /// re-insert three — down from three/four with the old
-    /// remove-then-insert sequence.
+    /// Single fused pass: the key-map insertion that writes the new arena
+    /// index *is* the traversal that finds a previous entry, whose slot is
+    /// then unlinked in O(1) — the paper's cross-link, not a second tree
+    /// operation.
     pub fn insert_front(&mut self, key: K, val: V) -> Option<V> {
-        let stamp = self.next_front_stamps(1).start;
-        self.fused_insert(key, stamp, val)
+        self.fused_insert(key, val, true)
     }
 
     /// Inserts (or replaces) one item as the least recent.  Single-pass, like
     /// [`RecencyMap::insert_front`].
     pub fn insert_back(&mut self, key: K, val: V) -> Option<V> {
-        let stamp = self.next_back_stamps(1).start;
-        self.fused_insert(key, stamp, val)
+        self.fused_insert(key, val, false)
     }
 
-    fn fused_insert(&mut self, key: K, stamp: i64, val: V) -> Option<V> {
-        self.rec_map.insert(stamp, key.clone());
-        let prev = self.key_map.insert(key, Entry { stamp, val });
-        prev.map(|old| {
-            let removed = self.rec_map.remove(&old.stamp);
-            debug_assert!(removed.is_some(), "recency map out of sync");
-            old.val
-        })
+    fn fused_insert(&mut self, key: K, val: V, at_front: bool) -> Option<V> {
+        let idx = self.alloc(key.clone(), val);
+        let old = self.key_map.insert(key, idx).map(|old_idx| {
+            self.unlink(old_idx);
+            self.release(old_idx).1
+        });
+        if old.is_none() {
+            self.len += 1;
+        }
+        if at_front {
+            self.link_front(idx);
+        } else {
+            self.link_back(idx);
+        }
+        old
     }
 
     /// Inserts a batch of items at the front, preserving their given order
     /// (`items[0]` ends up the most recent).  Keys may be in any order but
-    /// must be distinct and must not already be present (the working-set maps
-    /// always remove before re-inserting).
-    pub fn insert_front_batch(&mut self, items: Vec<(K, V)>) {
+    /// must be distinct and must not already be present — this is the
+    /// inter-segment *push* of the cascade (the working-set maps always
+    /// remove before re-inserting).  One key-map pass; the recency splice is
+    /// O(b).
+    pub fn push_front_batch(&mut self, items: Vec<(K, V)>) {
         if items.is_empty() {
             return;
         }
-        debug_assert!(items.iter().all(|(k, _)| !self.contains(k)));
-        if items.len() <= POINT_INSERT_BATCH {
-            // Point inserts, most-recent item last so it ends up frontmost.
-            for (k, v) in items.into_iter().rev() {
-                self.insert_front(k, v);
-            }
-            return;
-        }
-        let stamps = self.next_front_stamps(items.len());
-        let mut rec_items: Vec<(i64, K)> = Vec::with_capacity(items.len());
-        let mut key_items: Vec<(K, Entry<V>)> = Vec::with_capacity(items.len());
-        for (stamp, (k, v)) in stamps.zip(items) {
-            rec_items.push((stamp, k.clone()));
-            key_items.push((k, Entry { stamp, val: v }));
-        }
-        // Recency stamps are already increasing; keys need sorting.
-        self.rec_map.batch_insert(rec_items);
-        key_items.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        self.key_map.batch_insert(key_items);
+        let n = items.len();
+        let mut tree_items: Vec<(K, usize)> = Vec::with_capacity(n);
+        let (first, last) = self.alloc_chain(items, &mut tree_items);
+        self.splice_chain_front(first, last);
+        self.len += n;
+        tree_items.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let replaced = self.key_map.batch_insert(tree_items);
+        debug_assert!(
+            replaced.iter().all(Option::is_none),
+            "push_front_batch requires absent keys"
+        );
     }
 
     /// Inserts a batch of items at the back, preserving their given order
     /// (`items[0]` is the most recent of the inserted group, i.e. closest to
     /// the front).  Keys must be distinct and absent.
-    pub fn insert_back_batch(&mut self, items: Vec<(K, V)>) {
+    pub fn push_back_batch(&mut self, items: Vec<(K, V)>) {
         if items.is_empty() {
             return;
         }
-        debug_assert!(items.iter().all(|(k, _)| !self.contains(k)));
-        if items.len() <= POINT_INSERT_BATCH {
-            // Point inserts in order: each lands behind the previous one.
-            for (k, v) in items {
-                self.insert_back(k, v);
-            }
-            return;
-        }
-        let stamps = self.next_back_stamps(items.len());
-        let mut rec_items: Vec<(i64, K)> = Vec::with_capacity(items.len());
-        let mut key_items: Vec<(K, Entry<V>)> = Vec::with_capacity(items.len());
-        for (stamp, (k, v)) in stamps.zip(items) {
-            rec_items.push((stamp, k.clone()));
-            key_items.push((k, Entry { stamp, val: v }));
-        }
-        self.rec_map.batch_insert(rec_items);
-        key_items.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        self.key_map.batch_insert(key_items);
+        let n = items.len();
+        let mut tree_items: Vec<(K, usize)> = Vec::with_capacity(n);
+        let (first, last) = self.alloc_chain(items, &mut tree_items);
+        self.splice_chain_back(first, last);
+        self.len += n;
+        tree_items.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let replaced = self.key_map.batch_insert(tree_items);
+        debug_assert!(
+            replaced.iter().all(Option::is_none),
+            "push_back_batch requires absent keys"
+        );
     }
 
-    /// Removes one key; returns its value if present.
+    /// Batch upsert at the front: inserts every item as most-recent in the
+    /// given order (`items[0]` frontmost), *replacing* items whose key is
+    /// already present (their old slot is unlinked in O(1)).  Returns the
+    /// previous value per item, in item order.  Keys must be distinct within
+    /// the batch.  One key-map pass regardless of how many keys were present
+    /// — the capability the arena cross-links buy over the stamp design.
+    ///
+    /// The working-set cascades themselves never need this: they
+    /// entropy-sort and *combine* every cut batch before it reaches a
+    /// segment, so their pushes are always of absent keys
+    /// ([`RecencyMap::push_front_batch`]).  `insert_batch` is the map's
+    /// direct-use surface (e.g. an LRU cache bulk-refreshing entries), and
+    /// the oracle-differential property suite drives it alongside the
+    /// cascade ops.
+    pub fn insert_batch(&mut self, items: Vec<(K, V)>) -> Vec<Option<V>> {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut entries: Vec<(K, usize)> = Vec::with_capacity(n);
+        let (first, last) = self.alloc_chain(items, &mut entries);
+        self.splice_chain_front(first, last);
+        // Sort a position permutation so replaced values can be scattered
+        // back to item order after the single key-map pass.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by(|&a, &b| entries[a as usize].0.cmp(&entries[b as usize].0));
+        debug_assert!(
+            order
+                .windows(2)
+                .all(|w| entries[w[0] as usize].0 < entries[w[1] as usize].0),
+            "insert_batch requires distinct keys"
+        );
+        let mut tree_items: Vec<(K, usize)> = Vec::with_capacity(n);
+        let mut entries_opt: Vec<Option<(K, usize)>> = entries.into_iter().map(Some).collect();
+        for &pos in &order {
+            tree_items.push(entries_opt[pos as usize].take().expect("permutation"));
+        }
+        let replaced = self.key_map.batch_insert(tree_items);
+        let mut out: Vec<Option<V>> = std::iter::repeat_with(|| None).take(n).collect();
+        let mut fresh = n;
+        for (&pos, old_idx) in order.iter().zip(replaced) {
+            if let Some(old_idx) = old_idx {
+                self.unlink(old_idx);
+                out[pos as usize] = Some(self.release(old_idx).1);
+                fresh -= 1;
+            }
+        }
+        self.len += fresh;
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Removal
+    // ------------------------------------------------------------------
+
+    /// Removes one key; returns its value if present.  One tree pass plus an
+    /// O(1) unlink.
     pub fn remove(&mut self, key: &K) -> Option<V> {
-        let entry = self.key_map.remove(key)?;
-        let removed = self.rec_map.remove(&entry.stamp);
-        debug_assert!(removed.is_some(), "recency map out of sync");
-        Some(entry.val)
+        let idx = self.key_map.remove(key)?;
+        self.unlink(idx);
+        self.len -= 1;
+        Some(self.release(idx).1)
     }
 
     /// Removes a sorted batch of distinct keys; returns per key the removed
-    /// value (if it was present).
+    /// value (if it was present).  One tree pass; each located item is
+    /// unlinked from the recency list in O(1).
     pub fn remove_batch(&mut self, keys: &[K]) -> Vec<Option<V>> {
-        let removed = self.key_map.batch_remove(keys);
-        let mut stamps: Vec<i64> = removed.iter().flatten().map(|(_, e)| e.stamp).collect();
-        stamps.sort_unstable();
-        self.rec_map.batch_remove(&stamps);
-        removed.into_iter().map(|r| r.map(|(_, e)| e.val)).collect()
-    }
-
-    /// Removes and returns the `k` most recent items, most recent first.
-    pub fn pop_front(&mut self, k: usize) -> Vec<(K, V)> {
-        let taken = self.rec_map.take_front(k);
-        self.remove_taken(taken)
-    }
-
-    /// Removes and returns the `k` least recent items, *most recent of them
-    /// first* (so they can be re-inserted with [`RecencyMap::insert_front_batch`]
-    /// or [`RecencyMap::insert_back_batch`] preserving relative order).
-    pub fn pop_back(&mut self, k: usize) -> Vec<(K, V)> {
-        let taken = self.rec_map.take_back(k);
-        self.remove_taken(taken)
-    }
-
-    fn remove_taken(&mut self, taken: Vec<(i64, K)>) -> Vec<(K, V)> {
-        if taken.is_empty() {
-            return Vec::new();
-        }
-        // Sort a permutation of positions by key (keys are distinct — they
-        // come from the recency map), batch-remove, then scatter the removed
-        // values straight back to their recency positions.  No intermediate
-        // BTreeMap and no per-item tree lookups.
-        let mut order: Vec<u32> = (0..taken.len() as u32).collect();
-        order.sort_unstable_by(|&a, &b| taken[a as usize].1.cmp(&taken[b as usize].1));
-        let keys: Vec<K> = order.iter().map(|&i| taken[i as usize].1.clone()).collect();
-        let removed = self.key_map.batch_remove(&keys);
-        let mut vals: Vec<Option<V>> = std::iter::repeat_with(|| None).take(taken.len()).collect();
-        for (&pos, entry) in order.iter().zip(removed) {
-            let (_, e) = entry.expect("key-map and recency-map in sync");
-            vals[pos as usize] = Some(e.val);
-        }
-        taken
+        let removed = self.key_map.batch_remove_values(keys);
+        removed
             .into_iter()
-            .zip(vals)
-            .map(|((_, k), v)| (k, v.expect("every taken key was removed")))
+            .map(|idx| {
+                idx.map(|idx| {
+                    self.unlink(idx);
+                    self.len -= 1;
+                    self.release(idx).1
+                })
+            })
             .collect()
     }
 
-    /// The most recent item without removing it.
-    pub fn peek_front(&self) -> Option<(&K, &V)> {
-        let (_, key) = self.rec_map.first()?;
-        let entry = self.key_map.get(key)?;
-        Some((key, &entry.val))
+    /// Removes and returns the `k` most recent items, most recent first.
+    /// Walks the recency list (no stamp-tree search), then clears the keys
+    /// with one key-ordered batch removal.
+    pub fn take_front(&mut self, k: usize) -> Vec<(K, V)> {
+        let k = k.min(self.len);
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut idxs = Vec::with_capacity(k);
+        let mut cur = self.head;
+        for _ in 0..k {
+            touch(1);
+            idxs.push(cur);
+            cur = self.slots[cur].next;
+        }
+        // Detach the whole prefix in O(1).
+        self.head = cur;
+        match cur {
+            NIL => self.tail = NIL,
+            h => self.slots[h].prev = NIL,
+        }
+        self.len -= k;
+        self.remove_taken_keys(&idxs);
+        idxs.into_iter().map(|idx| self.release(idx)).collect()
     }
 
-    /// The least recent item without removing it.
-    pub fn peek_back(&self) -> Option<(&K, &V)> {
-        let (_, key) = self.rec_map.last()?;
-        let entry = self.key_map.get(key)?;
-        Some((key, &entry.val))
+    /// Removes and returns the `k` least recent items, *most recent of them
+    /// first* (so they can be re-inserted with
+    /// [`RecencyMap::push_front_batch`] or [`RecencyMap::push_back_batch`]
+    /// preserving relative order).
+    pub fn take_back(&mut self, k: usize) -> Vec<(K, V)> {
+        let k = k.min(self.len);
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut idxs = Vec::with_capacity(k);
+        let mut cur = self.tail;
+        for _ in 0..k {
+            touch(1);
+            idxs.push(cur);
+            cur = self.slots[cur].prev;
+        }
+        // Detach the whole suffix in O(1); walk order was back-to-front, so
+        // reverse for the most-recent-first return order.
+        self.tail = cur;
+        match cur {
+            NIL => self.head = NIL,
+            t => self.slots[t].next = NIL,
+        }
+        self.len -= k;
+        idxs.reverse();
+        self.remove_taken_keys(&idxs);
+        idxs.into_iter().map(|idx| self.release(idx)).collect()
     }
 
-    /// All items in recency order (most recent first).  `O(n log n)`; intended
-    /// for tests, invariant checks and the cost-lemma simulations.
-    pub fn items_in_recency_order(&self) -> Vec<(K, V)> {
-        let mut out = Vec::with_capacity(self.len());
-        self.rec_map.for_each(|_, key| {
-            let entry = self.key_map.get(key).expect("maps in sync");
-            out.push((key.clone(), entry.val.clone()));
+    /// Clears the key-map entries of already-detached slots with one sorted
+    /// batch removal (the reverse-indexing operation of Appendix A.2: the
+    /// arena indices *are* the direct pointers).
+    fn remove_taken_keys(&mut self, idxs: &[usize]) {
+        let mut order: Vec<u32> = (0..idxs.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            self.slot_key(idxs[a as usize])
+                .cmp(self.slot_key(idxs[b as usize]))
         });
+        let keys: Vec<K> = order
+            .iter()
+            .map(|&i| self.slot_key(idxs[i as usize]).clone())
+            .collect();
+        let removed = self.key_map.batch_remove_values(&keys);
+        debug_assert!(
+            order
+                .iter()
+                .zip(&removed)
+                .all(|(&i, r)| *r == Some(idxs[i as usize])),
+            "key-map and recency list out of sync"
+        );
+        let _ = removed;
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection
+    // ------------------------------------------------------------------
+
+    /// The most recent item without removing it.  O(1): the list head.
+    pub fn peek_front(&self) -> Option<(&K, &V)> {
+        (self.head != NIL).then(|| {
+            let (k, v) = self.slot_item(self.head);
+            (k, v)
+        })
+    }
+
+    /// The least recent item without removing it.  O(1): the list tail.
+    pub fn peek_back(&self) -> Option<(&K, &V)> {
+        (self.tail != NIL).then(|| {
+            let (k, v) = self.slot_item(self.tail);
+            (k, v)
+        })
+    }
+
+    /// All items in recency order (most recent first).  O(n) list walk;
+    /// intended for tests, invariant checks and the cost-lemma simulations.
+    pub fn items_in_recency_order(&self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.slot_item(cur).clone());
+            cur = self.slots[cur].next;
+        }
         out
     }
 
@@ -298,21 +558,54 @@ impl<K: Ord + Clone, V: Clone> RecencyMap<K, V> {
         self.key_map.keys()
     }
 
-    /// Validates that the two internal trees are consistent.
+    /// Validates that the key-map, the arena and the intrusive lists are
+    /// mutually consistent.
     pub fn check_invariants(&self)
     where
         K: std::fmt::Debug,
     {
         self.key_map.check_invariants();
-        self.rec_map.check_invariants();
-        assert_eq!(self.key_map.len(), self.rec_map.len());
-        self.rec_map.for_each(|stamp, key| {
-            let e = self
-                .key_map
-                .get(key)
-                .unwrap_or_else(|| panic!("key {key:?} in recency map but not key map"));
-            assert_eq!(e.stamp, *stamp, "stamp mismatch for key {key:?}");
+        assert_eq!(self.key_map.len(), self.len, "key-map and arena disagree");
+        // The recency list is a well-formed doubly-linked chain over exactly
+        // the live slots.
+        let mut count = 0usize;
+        let mut prev = NIL;
+        let mut cur = self.head;
+        while cur != NIL {
+            assert!(
+                count < self.len + 1,
+                "recency list longer than len (cycle?)"
+            );
+            let slot = &self.slots[cur];
+            assert!(slot.item.is_some(), "recency list visits free slot {cur}");
+            assert_eq!(slot.prev, prev, "broken prev link at slot {cur}");
+            prev = cur;
+            cur = slot.next;
+            count += 1;
+        }
+        assert_eq!(count, self.len, "recency list length mismatch");
+        assert_eq!(self.tail, prev, "tail does not end the recency list");
+        // Every key-map entry points at a live slot holding the same key.
+        self.key_map.for_each(|key, &idx| {
+            let (slot_key, _) = self.slots[idx]
+                .item
+                .as_ref()
+                .unwrap_or_else(|| panic!("key {key:?} maps to free slot {idx}"));
+            assert_eq!(slot_key, key, "key-map entry points at the wrong slot");
         });
+        // The free list accounts for every vacant slot, with no leaks.
+        let mut free_count = 0usize;
+        let mut cur = self.free;
+        while cur != NIL {
+            assert!(
+                free_count < self.slots.len() + 1,
+                "free list cycle at slot {cur}"
+            );
+            assert!(self.slots[cur].item.is_none(), "free list visits live slot");
+            cur = self.slots[cur].next;
+            free_count += 1;
+        }
+        assert_eq!(self.len + free_count, self.slots.len(), "arena slot leak");
     }
 }
 
@@ -327,6 +620,7 @@ mod tests {
         assert_eq!(m.len(), 0);
         assert_eq!(m.peek_front(), None);
         assert_eq!(m.peek_back(), None);
+        m.check_invariants();
     }
 
     #[test]
@@ -367,10 +661,10 @@ mod tests {
     }
 
     #[test]
-    fn batch_front_insert_preserves_given_order() {
+    fn batch_front_push_preserves_given_order() {
         let mut m = RecencyMap::new();
         m.insert_back(100u64, 0u64);
-        m.insert_front_batch(vec![(7, 7), (3, 3), (9, 9)]);
+        m.push_front_batch(vec![(7, 7), (3, 3), (9, 9)]);
         let order: Vec<u64> = m
             .items_in_recency_order()
             .into_iter()
@@ -381,10 +675,10 @@ mod tests {
     }
 
     #[test]
-    fn batch_back_insert_preserves_given_order() {
+    fn batch_back_push_preserves_given_order() {
         let mut m = RecencyMap::new();
         m.insert_front(100u64, 0u64);
-        m.insert_back_batch(vec![(7, 7), (3, 3), (9, 9)]);
+        m.push_back_batch(vec![(7, 7), (3, 3), (9, 9)]);
         let order: Vec<u64> = m
             .items_in_recency_order()
             .into_iter()
@@ -395,27 +689,50 @@ mod tests {
     }
 
     #[test]
-    fn pop_front_and_back_return_recency_order() {
+    fn insert_batch_upserts_and_reports_previous_values() {
+        let mut m = RecencyMap::new();
+        for i in 0..6u64 {
+            m.insert_back(i, i * 10);
+        }
+        // Mixed batch: 4 and 1 are present (replaced + moved to front), 77
+        // and 88 are fresh.
+        let prev = m.insert_batch(vec![(4, 400), (77, 700), (1, 100), (88, 800)]);
+        assert_eq!(prev, vec![Some(40), None, Some(10), None]);
+        assert_eq!(m.len(), 8);
+        let order: Vec<u64> = m
+            .items_in_recency_order()
+            .into_iter()
+            .map(|x| x.0)
+            .collect();
+        assert_eq!(order, vec![4, 77, 1, 88, 0, 2, 3, 5]);
+        assert_eq!(m.get(&4), Some(&400));
+        assert_eq!(m.get(&1), Some(&100));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn take_front_and_back_return_recency_order() {
         let mut m = RecencyMap::new();
         for i in 0..10u64 {
             m.insert_back(i, i * 10);
         }
         // Most recent = 0, least recent = 9.
-        let front = m.pop_front(3);
+        let front = m.take_front(3);
         assert_eq!(front.iter().map(|x| x.0).collect::<Vec<_>>(), vec![0, 1, 2]);
-        let back = m.pop_back(3);
+        let back = m.take_back(3);
         assert_eq!(back.iter().map(|x| x.0).collect::<Vec<_>>(), vec![7, 8, 9]);
         assert_eq!(m.len(), 4);
         m.check_invariants();
 
-        // Popping more than present drains the map.
-        let rest = m.pop_front(100);
+        // Taking more than present drains the map.
+        let rest = m.take_front(100);
         assert_eq!(rest.len(), 4);
         assert!(m.is_empty());
+        m.check_invariants();
     }
 
     #[test]
-    fn pop_back_then_push_front_preserves_relative_order() {
+    fn take_back_then_push_front_preserves_relative_order() {
         // This mimics the segment-overflow cascade: the k least recent items
         // of one segment become the k most recent of the next.
         let mut a = RecencyMap::new();
@@ -424,14 +741,16 @@ mod tests {
         }
         let mut b = RecencyMap::new();
         b.insert_back(100u64, 100u64);
-        let moved = a.pop_back(3); // items 3,4,5 in recency order
-        b.insert_front_batch(moved);
+        let moved = a.take_back(3); // items 3,4,5 in recency order
+        b.push_front_batch(moved);
         let order: Vec<u64> = b
             .items_in_recency_order()
             .into_iter()
             .map(|x| x.0)
             .collect();
         assert_eq!(order, vec![3, 4, 5, 100]);
+        a.check_invariants();
+        b.check_invariants();
     }
 
     #[test]
@@ -458,9 +777,29 @@ mod tests {
     }
 
     #[test]
+    fn arena_slots_are_reused_after_removal() {
+        let mut m = RecencyMap::new();
+        for i in 0..64u64 {
+            m.insert_back(i, i);
+        }
+        let arena_size = m.slots.len();
+        // Churn: remove and re-insert repeatedly; the arena must not grow.
+        for round in 0..10u64 {
+            let taken = m.take_back(16);
+            assert_eq!(taken.len(), 16);
+            m.push_front_batch(taken);
+            m.remove(&(round % 64));
+            m.insert_front(round % 64, round);
+            m.check_invariants();
+        }
+        assert_eq!(m.slots.len(), arena_size, "arena grew despite free list");
+        assert_eq!(m.len(), 64);
+    }
+
+    #[test]
     fn metered_segment_transfers_stay_under_the_transfer_bound() {
         use crate::cost::{metered, transfer, MEASURED_CEILING};
-        // The segment-cascade transfer shape: pop k off one map's back and
+        // The segment-cascade transfer shape: take k off one map's back and
         // push them onto another's front; the measured node visits must stay
         // under the ceiling on the transfer bound the maps charge.
         let mut a: RecencyMap<u64, u64> = RecencyMap::new();
@@ -474,8 +813,8 @@ mod tests {
         for k in [1usize, 4, 16, 64] {
             let larger = a.len().max(b.len()) as u64;
             let ((), touched) = metered(|| {
-                let moved = a.pop_back(k);
-                b.insert_front_batch(moved);
+                let moved = a.take_back(k);
+                b.push_front_batch(moved);
             });
             let bound = transfer(k as u64, larger).work;
             assert!(
@@ -485,6 +824,109 @@ mod tests {
         }
         a.check_invariants();
         b.check_invariants();
+    }
+
+    #[test]
+    fn fused_ops_touch_strictly_fewer_nodes_than_the_two_tree_design() {
+        use crate::cost::metered;
+        // Regression for the PR 5 tentpole: the literals are the touched-node
+        // counts the old two-tree (key-map + stamp-keyed recency-map) design
+        // measured on these exact workloads, captured on the PR 4 build.
+        // Every fused segment op must touch strictly fewer nodes — one
+        // metered tree pass instead of two.
+        const OLD_REMOVE_BATCH_64: u64 = 1504;
+        const OLD_PUSH_FRONT_64: u64 = 1344;
+        const OLD_TRANSFER_64: u64 = 1000;
+        const OLD_MOVE_TO_FRONT_32: u64 = 771;
+        const OLD_TAKE_FRONT_32: u64 = 330;
+
+        // Workload A: remove_batch of 64 spread keys from a 512-item map.
+        let mut m: RecencyMap<u64, u64> = RecencyMap::new();
+        for i in 0..512u64 {
+            m.insert_back(i, i);
+        }
+        let keys: Vec<u64> = (0..64u64).map(|i| i * 8).collect();
+        let (_, remove_touched) = metered(|| m.remove_batch(&keys));
+        assert!(
+            remove_touched < OLD_REMOVE_BATCH_64,
+            "remove_batch: fused {remove_touched} >= two-tree {OLD_REMOVE_BATCH_64}"
+        );
+
+        // Workload B: push the same 64 items back at the front as one batch.
+        let items: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k)).collect();
+        let (_, push_touched) = metered(|| m.push_front_batch(items));
+        assert!(
+            push_touched < OLD_PUSH_FRONT_64,
+            "push_front_batch: fused {push_touched} >= two-tree {OLD_PUSH_FRONT_64}"
+        );
+
+        // Workload C: segment-cascade transfer — take_back(64) then
+        // push_front into a second 256-item map.
+        let mut b: RecencyMap<u64, u64> = RecencyMap::new();
+        for i in 1000..1256u64 {
+            b.insert_back(i, i);
+        }
+        let (_, transfer_touched) = metered(|| {
+            let moved = m.take_back(64);
+            b.push_front_batch(moved);
+        });
+        assert!(
+            transfer_touched < OLD_TRANSFER_64,
+            "transfer: fused {transfer_touched} >= two-tree {OLD_TRANSFER_64}"
+        );
+
+        // Workload D: 32 point re-inserts (move-to-front) on the map.
+        let (_, mtf_touched) = metered(|| {
+            for i in 200..232u64 {
+                m.insert_front(i, i);
+            }
+        });
+        assert!(
+            mtf_touched < OLD_MOVE_TO_FRONT_32,
+            "move-to-front: fused {mtf_touched} >= two-tree {OLD_MOVE_TO_FRONT_32}"
+        );
+
+        // Workload E: take_front(32) (eviction shape).
+        let (_, take_touched) = metered(|| m.take_front(32));
+        assert!(
+            take_touched < OLD_TAKE_FRONT_32,
+            "take_front: fused {take_touched} >= two-tree {OLD_TAKE_FRONT_32}"
+        );
+        m.check_invariants();
+        b.check_invariants();
+    }
+
+    #[test]
+    fn segment_ops_pay_one_tree_pass_not_two() {
+        use crate::cost::{reset_tree_passes, tree_passes};
+        // The headline of the fusion, pinned at the pass-counter level: a
+        // divide-and-conquer batch removal is exactly one key-map sweep (the
+        // stamp design paid one per tree), and a transfer is exactly two (one
+        // take-side removal, one push-side insertion — it used to be four).
+        let mut m: RecencyMap<u64, u64> = RecencyMap::new();
+        for i in 0..512u64 {
+            m.insert_back(i, i);
+        }
+        let keys: Vec<u64> = (0..64u64).map(|i| i * 8).collect();
+        reset_tree_passes();
+        m.remove_batch(&keys);
+        assert_eq!(tree_passes(), 1, "batch removal must be one tree pass");
+
+        let items: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k)).collect();
+        reset_tree_passes();
+        m.push_front_batch(items);
+        assert_eq!(tree_passes(), 1, "batch push must be one tree pass");
+
+        let mut b: RecencyMap<u64, u64> = RecencyMap::new();
+        reset_tree_passes();
+        let moved = m.take_back(64);
+        b.push_front_batch(moved);
+        assert_eq!(
+            tree_passes(),
+            2,
+            "a transfer is one take pass + one push pass"
+        );
+        reset_tree_passes();
     }
 
     #[test]

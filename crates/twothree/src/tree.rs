@@ -2,7 +2,7 @@
 //! structural (split/join/rank) operations.  Batch operations live in
 //! [`crate::batch`].
 
-use crate::cost::touch;
+use crate::cost::{pass, touch};
 use crate::node::Node;
 
 /// Take-counts at or below this size use repeated point removals instead of
@@ -34,6 +34,7 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
     /// # Panics
     /// Panics in debug builds if the items are not strictly sorted.
     pub fn from_sorted(items: Vec<(K, V)>) -> Self {
+        pass();
         debug_assert!(
             items.windows(2).all(|w| w[0].0 < w[1].0),
             "from_sorted requires strictly increasing keys"
@@ -60,11 +61,13 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
 
     /// Looks up a key.
     pub fn get(&self, key: &K) -> Option<&V> {
+        pass();
         self.root.as_ref().and_then(|r| r.get(key))
     }
 
     /// Looks up a key, returning a mutable reference to its value.
     pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        pass();
         self.root.as_mut().and_then(|r| r.get_mut(key))
     }
 
@@ -75,6 +78,7 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
 
     /// The item with rank `idx` (0-based, key order).
     pub fn select(&self, idx: usize) -> Option<(&K, &V)> {
+        pass();
         self.root.as_ref().and_then(|r| r.select(idx))
     }
 
@@ -95,6 +99,7 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
     /// when one actually splits — not along the whole spine as the old
     /// split/join route did.
     pub fn insert(&mut self, key: K, val: V) -> Option<V> {
+        pass();
         match self.root.as_mut() {
             None => {
                 touch(1);
@@ -115,6 +120,7 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
     /// Removes a key; returns its value if it was present.  In-place, like
     /// [`Tree23::insert`].
     pub fn remove(&mut self, key: &K) -> Option<V> {
+        pass();
         match self.root.as_mut()? {
             Node::Leaf { key: k, .. } => {
                 touch(1);
@@ -142,6 +148,7 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
     /// Splits off everything with key `>= key` into a new tree, keeping the
     /// rest (and returning the exact match separately, if present).
     pub fn split_off(&mut self, key: &K) -> (Option<(K, V)>, Tree23<K, V>) {
+        pass();
         let Some(root) = self.root.take() else {
             return (None, Tree23::new());
         };
@@ -153,6 +160,7 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
     /// Splits the tree by rank: `self` keeps the first `rank` items, the rest
     /// are returned.
     pub fn split_at_rank(&mut self, rank: usize) -> Tree23<K, V> {
+        pass();
         let Some(root) = self.root.take() else {
             return Tree23::new();
         };
@@ -199,6 +207,7 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
     /// Concatenates `other` onto this tree.  Every key of `other` must be
     /// strictly greater than every key of `self`.
     pub fn join_greater(&mut self, other: Tree23<K, V>) {
+        pass();
         debug_assert!(
             self.is_empty()
                 || other.is_empty()

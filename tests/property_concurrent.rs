@@ -117,6 +117,14 @@ type SearchState = (Vec<usize>, Vec<(u64, u64)>);
 /// Wing–Gong linearizability check with memoization on
 /// (per-thread frontier, oracle contents).
 fn linearizable(histories: &[Vec<Done>]) -> bool {
+    linearizable_from(histories, BTreeMap::new())
+}
+
+/// [`linearizable`] against a map that was preloaded (sequentially, before
+/// any concurrent operation was invoked) with `initial` — used by the
+/// working-set-order and eviction histories, which need a populated segment
+/// cascade so the concurrent ops actually traverse the recency lists.
+fn linearizable_from(histories: &[Vec<Done>], initial: BTreeMap<u64, u64>) -> bool {
     fn dfs(
         histories: &[Vec<Done>],
         positions: &mut Vec<usize>,
@@ -170,9 +178,51 @@ fn linearizable(histories: &[Vec<Done>]) -> bool {
     }
 
     let mut positions = vec![0; histories.len()];
-    let mut model = BTreeMap::new();
+    let mut model = initial;
     let mut seen = HashSet::new();
     dfs(histories, &mut positions, &mut model, &mut seen)
+}
+
+/// Preloads an M1-backed map sequentially, executes the history at both
+/// combiner regimes, and asserts a linearization exists from the preloaded
+/// state.
+fn check_preloaded_m1(per_thread: &[Vec<Op>], preload: &BTreeMap<u64, u64>) {
+    let shards = per_thread.len().max(1);
+    for threshold in [usize::MAX, 0] {
+        let mut inner = M1::<u64, u64>::new(4);
+        inner.run_ops(
+            preload
+                .iter()
+                .map(|(&k, &v)| wsm_core::Operation::Insert(k, v))
+                .collect(),
+        );
+        let map = ConcurrentMap::new(inner, shards).with_inline_threshold(threshold);
+        let histories = execute(map, per_thread);
+        assert!(
+            linearizable_from(&histories, preload.clone()),
+            "no linearization over preloaded M1 (inline threshold {threshold}): {histories:#?}"
+        );
+    }
+}
+
+/// [`check_preloaded_m1`] for the pipelined M2.
+fn check_preloaded_m2(per_thread: &[Vec<Op>], preload: &BTreeMap<u64, u64>) {
+    let shards = per_thread.len().max(1);
+    for threshold in [usize::MAX, 0] {
+        let mut inner = M2::<u64, u64>::new(4);
+        inner.run_ops(
+            preload
+                .iter()
+                .map(|(&k, &v)| wsm_core::Operation::Insert(k, v))
+                .collect(),
+        );
+        let map = ConcurrentMap::new(inner, shards).with_inline_threshold(threshold);
+        let histories = execute(map, per_thread);
+        assert!(
+            linearizable_from(&histories, preload.clone()),
+            "no linearization over preloaded M2 (inline threshold {threshold}): {histories:#?}"
+        );
+    }
 }
 
 /// Executes the history on an M1-backed map at the given inline threshold
@@ -223,6 +273,78 @@ proptest! {
                 "no linearization (inline threshold {threshold}): {histories:#?}"
             );
         }
+    }
+
+    /// Working-set-order reads over a preloaded cascade: threads hammer a
+    /// tiny hot set (plus occasional cold keys), so every batch exercises the
+    /// recency-list move-to-front and promotion-transfer paths of the fused
+    /// `RecencyMap` — the arena splice code, not just tree lookups.  Checked
+    /// on M1 and M2, both combiner regimes.
+    #[test]
+    fn working_set_order_reads_linearize(
+        raw in prop::collection::vec(
+            prop::collection::vec((0u8..4, 0u8..8), 1..6),
+            1..4,
+        )
+    ) {
+        // Decode with a read-heavy skew: selector 0-2 → search, 3 → insert.
+        // Key 0-5 hit the preloaded hot range, 6-7 map to cold keys deep in
+        // the cascade.
+        let per_thread: Vec<Vec<Op>> = raw
+            .iter()
+            .enumerate()
+            .map(|(t, ops)| {
+                ops.iter()
+                    .enumerate()
+                    .map(|(i, &(kind, key))| {
+                        let key = if key < 6 { u64::from(key) } else { 50 + u64::from(key) };
+                        if kind < 3 {
+                            Op::Search(key)
+                        } else {
+                            Op::Insert(key, (t as u64) * 1000 + i as u64 + 1)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let preload: BTreeMap<u64, u64> = (0..64u64).map(|k| (k, k)).collect();
+        check_preloaded_m1(&per_thread, &preload);
+        check_preloaded_m2(&per_thread, &preload);
+    }
+
+    /// Eviction-shaped mixes over a preloaded cascade: deletes of resident
+    /// keys force hole-refill transfers (take_front off deeper segments) and
+    /// fresh inserts force overflow transfers (take_back), so the
+    /// inter-segment splices of the fused map run under real concurrency.
+    #[test]
+    fn eviction_shaped_mixes_linearize(
+        raw in prop::collection::vec(
+            prop::collection::vec((0u8..4, 0u8..16), 1..6),
+            1..4,
+        )
+    ) {
+        // Selector 0 → search, 1-2 → delete (eviction pressure), 3 → fresh
+        // insert far above the preloaded keyspace.
+        let per_thread: Vec<Vec<Op>> = raw
+            .iter()
+            .enumerate()
+            .map(|(t, ops)| {
+                ops.iter()
+                    .enumerate()
+                    .map(|(i, &(kind, key))| match kind {
+                        0 => Op::Search(u64::from(key) * 4),
+                        1 | 2 => Op::Delete(u64::from(key) * 4),
+                        _ => Op::Insert(
+                            1000 + (t as u64) * 100 + i as u64,
+                            (t as u64) * 1000 + i as u64 + 1,
+                        ),
+                    })
+                    .collect()
+            })
+            .collect();
+        let preload: BTreeMap<u64, u64> = (0..64u64).map(|k| (k, k)).collect();
+        check_preloaded_m1(&per_thread, &preload);
+        check_preloaded_m2(&per_thread, &preload);
     }
 
     /// MPSC shard stress: pool-scheduled producers with seeded yield

@@ -84,7 +84,7 @@ proptest! {
         let mut expected: Vec<(usize, u16)> = last_pos.into_iter().map(|(k, i)| (i, k)).collect();
         expected.sort();
         let expected_lru: Vec<u16> = expected.into_iter().map(|(_, k)| k).collect();
-        let popped: Vec<u16> = map.pop_back(expected_lru.len()).into_iter().map(|(k, _)| k).collect();
+        let popped: Vec<u16> = map.take_back(expected_lru.len()).into_iter().map(|(k, _)| k).collect();
         // pop_back returns most-recent-first of the popped suffix, so reverse.
         let popped_lru: Vec<u16> = popped.into_iter().rev().collect();
         prop_assert_eq!(popped_lru, expected_lru);
