@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! harness [e1|e3|e4|e6|e7|e8|e10|e12|e13|e14|e15|e16|e17|e18|all] [--small] [--threads N]
+//! harness [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15|e16|e17|e18|all] [--small] [--threads N]
 //! ```
 //! With no experiment argument, all experiments run at their default
 //! (paper-shaped) sizes; `--small` shrinks them for a quick smoke run.
@@ -46,27 +46,67 @@ fn in_pool(
     }
 }
 
-/// Prints the table and persists the `BENCH_<id>[_small].json` artifact.
+/// Prints the table and persists one `BENCH_<id>[_small].json` artifact per
+/// id in `ids` — the first id is the primary; the rest are aliases for
+/// experiments that share a table (E1/E2, E3/E5, E8/E9), written as their
+/// own files (with `alias_of` recorded in the meta) so the committed
+/// trajectory has an artifact for every experiment number.
 ///
 /// Small-preset runs write to a `_small`-suffixed file (with the preset also
 /// recorded in the meta), so the committed small-preset trend artifacts are
 /// never clobbered with incomparable paper-shaped numbers and vice versa.
-fn emit(id: &str, title: &str, rows: &[bench::Row], threads: Option<usize>, small: bool) {
+fn emit(ids: &[&str], title: &str, rows: &[bench::Row], threads: Option<usize>, small: bool) {
     bench::print_table(title, rows);
     let threads_meta = match threads {
         Some(n) => n.to_string(),
         None => "default".to_string(),
     };
     let preset = if small { "small" } else { "full" };
-    let meta = [("threads", threads_meta), ("preset", preset.to_string())];
-    let file_id = if small {
-        format!("{id}_small")
-    } else {
-        id.to_string()
-    };
-    match bench::json::write_rows(&bench::json::bench_dir(), &file_id, &meta, rows) {
-        Ok(path) => println!("[wrote {}]", path.display()),
-        Err(err) => eprintln!("warning: could not write BENCH_{file_id}.json: {err}"),
+    let primary = ids[0];
+    for id in ids {
+        let mut meta = vec![
+            ("threads", threads_meta.clone()),
+            ("preset", preset.to_string()),
+        ];
+        if id != &primary {
+            meta.push(("alias_of", primary.to_string()));
+        }
+        let file_id = if small {
+            format!("{id}_small")
+        } else {
+            (*id).to_string()
+        };
+        match bench::json::write_rows(&bench::json::bench_dir(), &file_id, &meta, rows) {
+            Ok(path) => println!("[wrote {}]", path.display()),
+            Err(err) => eprintln!("warning: could not write BENCH_{file_id}.json: {err}"),
+        }
+    }
+}
+
+/// Every experiment id an artifact is expected for (aliases included).
+const ALL_IDS: [&str; 18] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "e17", "e18",
+];
+
+/// Warns about experiment ids with no committed artifact for the active
+/// preset, so a hole in the `BENCH_*.json` trajectory is loud instead of
+/// silently absent from the trend data.
+fn warn_missing_artifacts(small: bool) {
+    let dir = bench::json::bench_dir();
+    let suffix = if small { "_small" } else { "" };
+    let missing: Vec<&str> = ALL_IDS
+        .iter()
+        .copied()
+        .filter(|id| !dir.join(format!("BENCH_{id}{suffix}.json")).exists())
+        .collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "warning: no BENCH_<id>{suffix}.json artifact for: {} \
+             (run `harness <id>{}` to generate)",
+            missing.join(", "),
+            if small { " --small" } else { "" },
+        );
     }
 }
 
@@ -111,7 +151,7 @@ fn main() {
             bench::experiment_sequential_ws(sizes.keyspace, sizes.operations)
         });
         emit(
-            "e1",
+            &["e1", "e2"],
             "E1/E2: sequential working-set structures vs W_L (work ratio)",
             &rows,
             threads,
@@ -123,7 +163,7 @@ fn main() {
             bench::experiment_parallel_work(sizes.keyspace, sizes.operations / 2, &[2, 4, 8, 16])
         });
         emit(
-            "e3",
+            &["e3", "e5"],
             "E3/E5: M1 and M2 effective work vs W_L",
             &rows,
             threads,
@@ -135,7 +175,7 @@ fn main() {
             bench::experiment_m1_span(sizes.keyspace, sizes.operations / 2, &[2, 4, 8, 16, 32])
         });
         emit(
-            "e4",
+            &["e4"],
             "E4: M1 effective span per batch vs (log p)^2 + log n",
             &rows,
             threads,
@@ -147,7 +187,7 @@ fn main() {
             bench::experiment_m2_latency(sizes.keyspace, 8)
         });
         emit(
-            "e6",
+            &["e6"],
             "E6: M2 per-operation pipeline latency by recency",
             &rows,
             threads,
@@ -157,7 +197,7 @@ fn main() {
     if run("e7") {
         let rows = in_pool(shared_pool, || bench::experiment_buffer_cost(&[4, 16, 64]));
         emit(
-            "e7",
+            &["e7"],
             "E7: parallel buffer flush cost",
             &rows,
             threads,
@@ -167,7 +207,7 @@ fn main() {
     if run("e8") || run("e9") {
         let rows = in_pool(shared_pool, || bench::experiment_sorting(sizes.sort_n));
         emit(
-            "e8",
+            &["e8", "e9"],
             "E8/E9: ESort and PESort work vs the entropy bound",
             &rows,
             threads,
@@ -179,8 +219,20 @@ fn main() {
             bench::experiment_static_optimality(sizes.keyspace, sizes.operations / 2)
         });
         emit(
-            "e10",
+            &["e10"],
             "E10: static optimality (M1 work vs optimal static BST)",
+            &rows,
+            threads,
+            small,
+        );
+    }
+    if run("e11") {
+        let rows = in_pool(shared_pool, || {
+            bench::experiment_phase_shift(sizes.keyspace, sizes.operations, 8)
+        });
+        emit(
+            &["e11"],
+            "E11: dynamic adaptivity — work/op across a working-set phase shift (spike to log n, recover to log w)",
             &rows,
             threads,
             small,
@@ -191,7 +243,7 @@ fn main() {
             bench::experiment_combine_ablation(sizes.keyspace, 1 << 10)
         });
         emit(
-            "e12",
+            &["e12"],
             "E12: ablation — duplicate combining vs naive per-op execution",
             &rows,
             threads,
@@ -203,7 +255,7 @@ fn main() {
             bench::experiment_pipelining(sizes.keyspace, 8)
         });
         emit(
-            "e13",
+            &["e13"],
             "E13: pipelining — M1 vs M2 latency for hot ops behind cold misses",
             &rows,
             threads,
@@ -215,7 +267,7 @@ fn main() {
             bench::experiment_invariants(sizes.keyspace.min(1 << 12), sizes.operations.min(1 << 14))
         });
         emit(
-            "e14",
+            &["e14"],
             "E14: runtime invariant checks (Lemma 16 style)",
             &rows,
             threads,
@@ -227,7 +279,7 @@ fn main() {
             bench::experiment_cost_constants(sizes.keyspace, sizes.operations)
         });
         emit(
-            "e17",
+            &["e17"],
             "E17: measured vs worst-case analytic constants (W/W_L, W/bound per structure and workload)",
             &rows,
             threads,
@@ -239,7 +291,7 @@ fn main() {
         // on this thread (not through the pool wrapper).
         let rows = bench::experiment_tree_passes(sizes.keyspace, sizes.operations / 2);
         emit(
-            "e18",
+            &["e18"],
             "E18: tree passes per op (arena-fused RecencyMap: one key-map pass per segment op)",
             &rows,
             threads,
@@ -252,7 +304,7 @@ fn main() {
         let rows =
             bench::experiment_hot_paths(sizes.hot_pages, sizes.hot_requests, t, sizes.scale_reps);
         emit(
-            "e16",
+            &["e16"],
             "E16: hot-path constant factors (ConcurrentMap vs coarse-locked AVL, inline-threshold sweep, W/W_L)",
             &rows,
             threads,
@@ -278,13 +330,14 @@ fn main() {
             sizes.scale_reps,
         );
         emit(
-            "e15",
+            &["e15"],
             "E15: wall-clock scaling on the work-stealing pool (pesort / tree batch / concurrent map)",
             &rows,
             threads,
             small,
         );
     }
+    warn_missing_artifacts(small);
 }
 
 /// Parsed command line.
@@ -333,7 +386,7 @@ fn parse_positive(flag: &str, value: &str) -> usize {
 fn usage_error(msg: &str) -> ! {
     eprintln!("harness: {msg}");
     eprintln!(
-        "usage: harness [e1|e3|e4|e6|e7|e8|e10|e12|e13|e14|e15|e16|e17|e18|all] [--small] [--threads N]"
+        "usage: harness [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15|e16|e17|e18|all] [--small] [--threads N]"
     );
     std::process::exit(2);
 }

@@ -5,6 +5,8 @@
 //! EXPERIMENTS.md and returns printable rows; the harness binary formats them
 //! as the tables recorded in EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 
 use serde::Serialize;
@@ -354,6 +356,117 @@ pub fn experiment_static_optimality(keyspace: u64, operations: usize) -> Vec<Row
             ],
         ));
     }
+    rows
+}
+
+/// E11: dynamic working-set adaptivity across a phase shift.
+///
+/// The working-set property is a statement about *recency*, so its dynamic
+/// content only shows when the working set moves: searches draw from a small
+/// hot window, then the window jumps to a disjoint key region.  Steady-state
+/// work per operation should track `log w` (window size), the first touches
+/// after the shift pay `log n` each (the new keys have recency rank ~n), and
+/// the cost must *recover* to `log w` once the new window is resident — the
+/// spike-and-recover signature that distinguishes a working-set structure
+/// from a plain balanced tree, whose columns stay flat at `log n` throughout.
+pub fn experiment_phase_shift(keyspace: u64, operations: usize, p: usize) -> Vec<Row> {
+    const WINDOW: u64 = 64;
+    let half = (operations / 2).max(512);
+    // "Shift" = the first full pass over the new window, where every search
+    // pays the cold cost; "steady" = everything after.
+    let transition = (WINDOW as usize * 4).min(half / 2);
+    let phase = |base: u64, n: usize, seed: u64| -> Vec<MapOpKind<u64>> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                MapOpKind::Search(base + (x >> 33) % WINDOW)
+            })
+            .collect()
+    };
+    let load: Vec<MapOpKind<u64>> = (0..keyspace).map(MapOpKind::Insert).collect();
+    let warm = phase(0, half, 5);
+    let steady_a = phase(0, half, 7);
+    let b = phase(keyspace / 2, half, 9);
+    let (shift, steady_b) = b.split_at(transition);
+    let per_op = |c: Cost, n: usize| c.work as f64 / n.max(1) as f64;
+    let mut rows = Vec::new();
+    {
+        let mut m0 = M0::new();
+        run_sequential(&mut m0, &load);
+        run_sequential(&mut m0, &warm);
+        let a = per_op(run_sequential(&mut m0, &steady_a), steady_a.len());
+        let s = per_op(run_sequential(&mut m0, shift), shift.len());
+        let r = per_op(run_sequential(&mut m0, steady_b), steady_b.len());
+        rows.push(Row::new(
+            "M0 (sequential)",
+            vec![
+                ("steady A work/op", a),
+                ("shift work/op", s),
+                ("steady B work/op", r),
+                ("shift/steady", s / a.max(f64::MIN_POSITIVE)),
+            ],
+        ));
+    }
+    {
+        let mut avl = AvlMap::new();
+        run_sequential(&mut avl, &load);
+        run_sequential(&mut avl, &warm);
+        let a = per_op(run_sequential(&mut avl, &steady_a), steady_a.len());
+        let s = per_op(run_sequential(&mut avl, shift), shift.len());
+        let r = per_op(run_sequential(&mut avl, steady_b), steady_b.len());
+        rows.push(Row::new(
+            "AVL (no WS property)",
+            vec![
+                ("steady A work/op", a),
+                ("shift work/op", s),
+                ("steady B work/op", r),
+                ("shift/steady", s / a.max(f64::MIN_POSITIVE)),
+            ],
+        ));
+    }
+    for (label, batched) in [("M1", true), ("M2", false)] {
+        let batch = p * p;
+        let (a, s, r) = if batched {
+            let mut m = M1::new(p);
+            run_batched(&mut m, &load, batch);
+            run_batched(&mut m, &warm, batch);
+            (
+                per_op(run_batched(&mut m, &steady_a, batch), steady_a.len()),
+                per_op(run_batched(&mut m, shift, batch), shift.len()),
+                per_op(run_batched(&mut m, steady_b, batch), steady_b.len()),
+            )
+        } else {
+            let mut m = M2::new(p);
+            run_batched(&mut m, &load, batch);
+            run_batched(&mut m, &warm, batch);
+            (
+                per_op(run_batched(&mut m, &steady_a, batch), steady_a.len()),
+                per_op(run_batched(&mut m, shift, batch), shift.len()),
+                per_op(run_batched(&mut m, steady_b, batch), steady_b.len()),
+            )
+        };
+        rows.push(Row::new(
+            format!("{label} p={p}"),
+            vec![
+                ("steady A work/op", a),
+                ("shift work/op", s),
+                ("steady B work/op", r),
+                ("shift/steady", s / a.max(f64::MIN_POSITIVE)),
+            ],
+        ));
+    }
+    rows.push(Row::new(
+        "reference",
+        vec![
+            ("log2 w", (WINDOW as f64).log2()),
+            ("log2 n", (keyspace as f64).log2()),
+            ("ops/phase", half as f64),
+            ("shift ops", transition as f64),
+        ],
+    ));
     rows
 }
 

@@ -1,0 +1,40 @@
+//! `wsm-lint` CLI: structural repo-law analyzer.  Exits non-zero on any
+//! violation.  See `wsm_check::lint` for the rules.
+//!
+//! Usage: wsm-lint [repo-root]   (default: current directory)
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use wsm_check::lint;
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let files = match lint::collect_repo_files(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("wsm-lint: cannot walk {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+    if files.is_empty() {
+        eprintln!(
+            "wsm-lint: no crates/**/*.rs files under {} (wrong root?)",
+            root.display()
+        );
+        std::process::exit(2);
+    }
+    let violations = lint::run(&files);
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    if violations.is_empty() {
+        println!("wsm-lint: {} files clean", files.len());
+    } else {
+        eprintln!("wsm-lint: {} violation(s)", violations.len());
+        std::process::exit(1);
+    }
+}

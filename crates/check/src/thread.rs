@@ -1,0 +1,94 @@
+//! Shim threading: `spawn`/`yield_now`/`JoinHandle` that delegate to
+//! `std::thread` normally and become model threads under the checker.
+
+use crate::model::{current_handle, Op, ThreadId};
+use std::sync::{Arc, Mutex, PoisonError};
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        tid: ThreadId,
+        result: Arc<Mutex<Option<T>>>,
+    },
+}
+
+/// Handle to a spawned (possibly model) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// Under the model a panic in the child surfaces as a model failure
+    /// before the join completes, so this never observes `Err` there.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Std(h) => h.join(),
+            Inner::Model { tid, result } => {
+                let h = current_handle().expect("model JoinHandle joined outside the model");
+                h.exec.declare(&h, Op::Join(tid));
+                let v = result
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("joined model thread left no result");
+                Ok(v)
+            }
+        }
+    }
+}
+
+/// Spawns a thread running `f`.  Inside a model execution this creates a
+/// model thread whose every shim operation is schedule-explored; otherwise it
+/// is `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    spawn_named("child".to_string(), f)
+}
+
+/// [`spawn`] with a name used in model traces.
+pub fn spawn_named<F, T>(name: String, f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current_handle() {
+        None => JoinHandle {
+            inner: Inner::Std(
+                std::thread::Builder::new()
+                    .name(name)
+                    .spawn(f)
+                    .expect("spawn thread"),
+            ),
+        },
+        Some(h) => {
+            // Declaring Spawn makes thread creation itself a scheduling
+            // point; the scheduler grants `Run` and we register the new
+            // model thread here (we own the closure).
+            h.exec.declare(&h, Op::Spawn);
+            let result = Arc::new(Mutex::new(None));
+            let slot = Arc::clone(&result);
+            let tid = h.exec.spawn_thread(name, move || {
+                let v = f();
+                *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+            });
+            JoinHandle {
+                inner: Inner::Model { tid, result },
+            }
+        }
+    }
+}
+
+/// Yields execution.  Under the model this is a pure scheduling point.
+pub fn yield_now() {
+    match current_handle() {
+        None => std::thread::yield_now(),
+        Some(h) => {
+            h.exec.declare(&h, Op::Yield);
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: trips R2 `missing-forbid-header` when presented as a crate root
+//! (`crates/<x>/src/lib.rs`).  Mentioning #![forbid(unsafe_code)] in a
+//! comment — as this line just did — must not satisfy the rule: only the
+//! real inner attribute counts.
+
+pub fn nothing() {}

@@ -1,0 +1,29 @@
+//! Fixture: R3 `unjustified-ordering`.  One bare Relaxed site (must trip),
+//! one justified site (must not), one multi-line call whose justification
+//! sits above the statement (must not), and a SeqCst site (exempt).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bare(c: &AtomicUsize) -> usize {
+    c.load(Ordering::Relaxed)
+}
+
+pub fn justified(c: &AtomicUsize) -> usize {
+    // ord: Relaxed — fixture justification; advisory counter.
+    c.load(Ordering::Relaxed)
+}
+
+pub fn justified_multiline(c: &AtomicUsize) {
+    // ord: Relaxed — fixture justification spanning a multi-line call;
+    // the marker is above the statement, not within 3 lines of the site.
+    let _ = c.compare_exchange(
+        0,
+        1,
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+}
+
+pub fn seqcst_needs_nothing(c: &AtomicUsize) -> usize {
+    c.load(Ordering::SeqCst)
+}

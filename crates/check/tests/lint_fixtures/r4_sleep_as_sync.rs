@@ -1,0 +1,18 @@
+//! Fixture: R4 `sleep-as-sync`.  A bare thread::sleep (must trip) and an
+//! annotated one (must not).  `Sleep` the type name and `sleepers` the
+//! method name must not trip the rule.
+
+pub struct Sleep;
+
+pub fn sleepers() -> usize {
+    0
+}
+
+pub fn bad_wait() {
+    std::thread::sleep(std::time::Duration::from_millis(10));
+}
+
+pub fn measured_backoff() {
+    // lint: allow(thread_sleep) — fixture: bounded nap, re-polled condition.
+    std::thread::sleep(std::time::Duration::from_micros(100));
+}

@@ -1,0 +1,39 @@
+//! Fixture: R5 `unmetered-op`, presented as a file under `crates/twothree/`.
+//! A `Tree23` impl with: a pub method that never reaches the metering layer
+//! (must trip), a directly metered one, one metered via a sibling, one
+//! metered via `pass()`, an annotated exemption, and a private unmetered
+//! helper (exempt: only pub methods are law).
+
+pub struct Tree23;
+
+impl Tree23 {
+    pub fn unmetered_search(&self) -> usize {
+        self.raw_walk()
+    }
+
+    pub fn metered_search(&self) -> usize {
+        touch(1);
+        self.raw_walk()
+    }
+
+    pub fn via_sibling(&self) -> usize {
+        self.metered_search()
+    }
+
+    pub fn via_pass(&self) -> usize {
+        pass();
+        self.raw_walk()
+    }
+
+    // lint: allow(unmetered) — fixture: O(1) accessor, no nodes touched.
+    pub fn cheap_accessor(&self) -> usize {
+        0
+    }
+
+    fn raw_walk(&self) -> usize {
+        42
+    }
+}
+
+fn touch(_n: u64) {}
+fn pass() {}

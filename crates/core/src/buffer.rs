@@ -15,7 +15,7 @@
 //! batch of size `b` is `O(p + b)` work and `O(log p + log b)` span, matching
 //! Theorem 26's requirements.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use wsm_check::sync::{AtomicUsize, Ordering};
 use wsm_model::{ceil_log2, Cost};
 use wsm_sync::{Activation, MpscShard};
 
@@ -37,10 +37,18 @@ pub struct ParallelBuffer<T> {
 impl<T> ParallelBuffer<T> {
     /// Creates a buffer with one shard per expected submitting processor.
     pub fn new(shards: usize) -> Self {
+        Self::with_ring_capacity(shards, SHARD_RING_CAPACITY)
+    }
+
+    /// Like [`ParallelBuffer::new`], but with an explicit per-shard ring
+    /// capacity.  Model-checking harnesses use tiny rings (2–4 cells) so the
+    /// wrap-around and overflow paths are reachable within a few scheduler
+    /// steps; production code should stay on [`ParallelBuffer::new`].
+    pub fn with_ring_capacity(shards: usize, ring_capacity: usize) -> Self {
         let shards = shards.max(1);
         ParallelBuffer {
             shards: (0..shards)
-                .map(|_| MpscShard::with_capacity(SHARD_RING_CAPACITY))
+                .map(|_| MpscShard::with_capacity(ring_capacity))
                 .collect(),
             pending: AtomicUsize::new(0),
             activation: Activation::new(),
@@ -55,7 +63,11 @@ impl<T> ParallelBuffer<T> {
     /// Number of operations currently buffered (racy under concurrency; exact
     /// when used single-threaded).
     pub fn len(&self) -> usize {
-        self.pending.load(Ordering::Acquire)
+        // ord: Relaxed — advisory occupancy counter; actual item visibility
+        // is carried by the shards' seq-stamp protocol, and the combiner
+        // hand-off race a stale read could cause is closed by the doorbell
+        // ring (model: tests/model_doorbell.rs).
+        self.pending.load(Ordering::Relaxed)
     }
 
     /// True if no operations are buffered.
@@ -66,9 +78,19 @@ impl<T> ParallelBuffer<T> {
     /// Deposits one call into the shard `shard_hint % shards`.  Constant time
     /// and lock-free; uncontended when each thread uses its own hint.
     pub fn push(&self, shard_hint: usize, item: T) {
+        // Count *before* publishing.  The model checker caught the opposite
+        // order underflowing the counter: a combiner could drain the item and
+        // `fetch_sub` before this producer's `fetch_add` landed, leaving
+        // `pending` at usize::MAX and `is_empty()` false forever (a combiner
+        // livelock).  Counting first means a drain can only subtract items
+        // whose increment happened-before their seq-stamp publication; the
+        // counter may transiently over-count a not-yet-visible item, which
+        // merely costs the combiner one extra (yielding) recheck round.
+        // ord: Relaxed — ordering against the item itself is carried by the
+        // shard's Release stamp below (model: tests/model_doorbell.rs).
+        self.pending.fetch_add(1, Ordering::Relaxed);
         let shard = &self.shards[shard_hint % self.shards.len()];
         shard.publish(item);
-        self.pending.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Deposits a pre-built batch of calls into one shard, preserving the
@@ -77,12 +99,13 @@ impl<T> ParallelBuffer<T> {
         if items.is_empty() {
             return;
         }
+        // ord: Relaxed — counted before publishing, as in `push` (which see
+        // for why the other order underflows the counter).
+        self.pending.fetch_add(items.len(), Ordering::Relaxed);
         let shard = &self.shards[shard_hint % self.shards.len()];
-        let n = items.len();
         for item in items {
             shard.publish(item);
         }
-        self.pending.fetch_add(n, Ordering::AcqRel);
     }
 
     /// Flushes every shard, returning the accumulated input batch and the
@@ -101,7 +124,9 @@ impl<T> ParallelBuffer<T> {
             shard.drain_into(out);
         }
         let drained = out.len() - before;
-        self.pending.fetch_sub(drained, Ordering::AcqRel);
+        // ord: Relaxed — counter decrement only; drained items were already
+        // acquired through their shards' seq stamps.
+        self.pending.fetch_sub(drained, Ordering::Relaxed);
         Self::flush_cost(self.shards.len() as u64, drained as u64)
     }
 

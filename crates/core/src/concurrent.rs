@@ -41,9 +41,10 @@
 //! processors calling the map.
 
 use crate::buffer::ParallelBuffer;
+use crate::doorbell::Doorbell;
 use crate::ops::{BatchedMap, OpId, OpResult, Operation, TaggedOp};
-use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
+use wsm_check::sync::Mutex;
 
 struct ResultSlot<V> {
     result: Mutex<Option<OpResult<V>>>,
@@ -62,45 +63,6 @@ impl<V> ResultSlot<V> {
 
     fn try_take(&self) -> Option<OpResult<V>> {
         self.result.lock().take()
-    }
-}
-
-/// A generation-counting condvar: waiters record the generation they observed
-/// and sleep until it moves past it.  Ringing after every combiner activation
-/// makes lost wake-ups impossible: any activation that could have consumed a
-/// waiter's operation (or raced with its activation attempt) finishes with a
-/// ring that happens after the waiter captured its generation.
-///
-/// The generation itself is an atomic so the caller-side fast path
-/// ([`Doorbell::current`]) is a plain load; the mutex exists only to pair
-/// sleeps with rings (the ring bumps the generation *under the mutex*, which
-/// is what makes a concurrent `wait_past` either see the new generation or
-/// get the notification).
-#[derive(Default)]
-struct Doorbell {
-    generation: std::sync::atomic::AtomicU64,
-    gate: Mutex<()>,
-    cv: Condvar,
-}
-
-impl Doorbell {
-    fn current(&self) -> u64 {
-        self.generation.load(std::sync::atomic::Ordering::Acquire)
-    }
-
-    fn ring(&self) {
-        let gate = self.gate.lock();
-        self.generation
-            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
-        drop(gate);
-        self.cv.notify_all();
-    }
-
-    fn wait_past(&self, seen: u64) {
-        let mut gate = self.gate.lock();
-        while self.current() == seen {
-            self.cv.wait(&mut gate);
-        }
     }
 }
 
@@ -292,8 +254,19 @@ where
             let runs = self.buffer.activate(
                 || true,
                 || {
-                    self.combine();
-                    !self.buffer.is_empty()
+                    let drained = self.combine();
+                    let more = !self.buffer.is_empty();
+                    if more && drained == 0 {
+                        // The buffer claims an item the flush could not see:
+                        // a producer is mid-publish (counted, seq stamp not
+                        // yet released).  Donate the CPU so its store lands
+                        // instead of respinning the activation hot; under
+                        // the model checker this yield is also what lets the
+                        // fair scheduler run the producer (found as a
+                        // starvation livelock by tests/model_doorbell.rs).
+                        wsm_check::thread::yield_now();
+                    }
+                    more
                 },
             );
             if runs > 0 {
@@ -332,8 +305,9 @@ where
 
     /// Flushes the buffer and runs the accumulated batch through the
     /// underlying map (inside the work-stealing pool, so the batch's internal
-    /// parallelism fans out), delivering each result to its caller.
-    fn combine(&self) {
+    /// parallelism fans out), delivering each result to its caller.  Returns
+    /// the number of operations the flush actually drained.
+    fn combine(&self) -> usize {
         // Uncontended by construction: only the activation holder combines.
         let mut scratch = self.scratch.lock();
         let CombineScratch { pending, slots } = &mut *scratch;
@@ -343,8 +317,9 @@ where
         pending.clear();
         slots.clear();
         let _cost = self.buffer.flush_into(pending);
+        let drained = pending.len();
         if pending.is_empty() {
-            return;
+            return 0;
         }
         let batch: Vec<TaggedOp<K, V>> = pending
             .drain(..)
@@ -374,6 +349,7 @@ where
             slots[id as usize].fill(result);
         }
         slots.clear();
+        drained
     }
 }
 

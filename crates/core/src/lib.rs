@@ -33,6 +33,7 @@
 
 pub mod buffer;
 pub mod concurrent;
+pub mod doorbell;
 pub mod feed;
 pub mod m1;
 pub mod m2;

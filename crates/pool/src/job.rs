@@ -26,7 +26,7 @@
 //! Either way there is never a concurrent access to the closure or result
 //! cells, and the memory outlives every access.
 
-use crate::latch::Latch;
+use crate::handshake::Latch;
 use std::cell::UnsafeCell;
 use std::panic::{self, AssertUnwindSafe};
 use std::thread;

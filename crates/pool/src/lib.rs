@@ -47,8 +47,8 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod handshake;
 mod job;
-mod latch;
 mod par;
 mod registry;
 mod scope;

@@ -11,10 +11,10 @@
 //! when they have nothing else to do, so contention is negligible at fork-join
 //! grain sizes.
 //!
-//! Two separate wake-up channels exist, both Dekker-style handshakes
-//! (register under the mutex, re-check the condition, then wait; notifiers
-//! read the waiter count *after* publishing the event and take the mutex
-//! before notifying):
+//! Two separate wake-up channels exist, both [`crate::handshake::WakeGate`]
+//! Dekker handshakes (register under the mutex, re-check the condition, then
+//! wait; notifiers publish the event first, read the waiter count, and take
+//! the mutex before notifying):
 //!
 //! * **worker sleep** — idle workers park on a condvar until new work is
 //!   pushed or the registry terminates;
@@ -23,34 +23,19 @@
 //!   job.  The latch itself lives on the client's stack; the condvar lives
 //!   here in the registry, which is what lets the executor's final access to
 //!   the job be the latch store (see [`crate::job`]).
+//!
+//! The handshake protocol itself is model-checked against the real
+//! [`crate::handshake`] code in `crates/check/tests/model_registry.rs`.
 
+use crate::handshake::{Latch, WakeGate};
 use crate::job::JobRef;
-use crate::latch::Latch;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 use std::time::Duration;
-
-/// Locks a mutex, transparently recovering from poisoning (a panicking job
-/// must not wedge the whole pool).
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
+use wsm_check::sync::{AtomicBool, AtomicUsize, Mutex, Ordering};
 
 struct WorkerState {
     deque: Mutex<VecDeque<JobRef>>,
-}
-
-struct Sleep {
-    mutex: Mutex<()>,
-    cv: Condvar,
-    sleepers: AtomicUsize,
-}
-
-struct ClientWakeup {
-    mutex: Mutex<()>,
-    cv: Condvar,
-    waiters: AtomicUsize,
 }
 
 /// Shared state of one thread pool.
@@ -59,11 +44,13 @@ pub(crate) struct Registry {
     injector: Mutex<VecDeque<JobRef>>,
     /// Jobs queued (in any deque or the injector) but not yet taken.  A hint
     /// for the sleep path; transiently inexact is fine, the wait below has a
-    /// timeout backstop.
+    /// timeout backstop.  `SeqCst` because it is the event side of the sleep
+    /// gate's Dekker handshake (store pending / load parked vs store parked /
+    /// load pending) — weaker orderings are refuted by the model's TSO mode.
     pending: AtomicUsize,
     terminate: AtomicBool,
-    sleep: Sleep,
-    clients: ClientWakeup,
+    sleep: WakeGate,
+    clients: WakeGate,
 }
 
 impl Registry {
@@ -79,16 +66,8 @@ impl Registry {
             injector: Mutex::new(VecDeque::new()),
             pending: AtomicUsize::new(0),
             terminate: AtomicBool::new(false),
-            sleep: Sleep {
-                mutex: Mutex::new(()),
-                cv: Condvar::new(),
-                sleepers: AtomicUsize::new(0),
-            },
-            clients: ClientWakeup {
-                mutex: Mutex::new(()),
-                cv: Condvar::new(),
-                waiters: AtomicUsize::new(0),
-            },
+            sleep: WakeGate::new(),
+            clients: WakeGate::new(),
         });
         let handles = (0..num_threads)
             .map(|index| {
@@ -109,31 +88,25 @@ impl Registry {
 
     /// Queues a job from a non-worker thread (or for fair FIFO dispatch).
     pub(crate) fn inject(&self, job: JobRef) {
-        lock(&self.injector).push_back(job);
+        self.injector.lock().push_back(job);
         self.pending.fetch_add(1, Ordering::SeqCst);
-        self.notify_workers();
-    }
-
-    /// Wakes sleeping workers after new work was queued.
-    fn notify_workers(&self) {
-        if self.sleep.sleepers.load(Ordering::SeqCst) > 0 {
-            // Taking the mutex serialises with the sleeper's registration /
-            // re-check, so the notification cannot be lost.
-            let _guard = lock(&self.sleep.mutex);
-            self.sleep.cv.notify_all();
-        }
+        self.sleep.notify();
     }
 
     /// Asks every worker to exit once it runs out of work.
     pub(crate) fn request_terminate(&self) {
-        self.terminate.store(true, Ordering::SeqCst);
-        let _guard = lock(&self.sleep.mutex);
-        self.sleep.cv.notify_all();
+        // ord: Relaxed — termination is delivered by the sleep gate's
+        // notify (mutex-serialised against the sleeper's re-check), and the
+        // sleep wait is timeout-backstopped anyway, so the flag needs no
+        // ordering of its own (model: tests/model_registry.rs).
+        self.terminate.store(true, Ordering::Relaxed);
+        self.sleep.notify();
     }
 
     /// True once termination was requested.
     pub(crate) fn terminating(&self) -> bool {
-        self.terminate.load(Ordering::SeqCst)
+        // ord: Relaxed — see request_terminate.
+        self.terminate.load(Ordering::Relaxed)
     }
 
     /// Runs `f` to completion inside the pool, called from a **non-worker**
@@ -162,20 +135,7 @@ impl Registry {
 
     /// Parks the calling (non-worker) thread until `latch` is set.
     fn wait_client(&self, latch: &Latch) {
-        if latch.probe() {
-            return;
-        }
-        let mut guard = lock(&self.clients.mutex);
-        self.clients.waiters.fetch_add(1, Ordering::SeqCst);
-        while !latch.probe() {
-            guard = self
-                .clients
-                .cv
-                .wait(guard)
-                .unwrap_or_else(PoisonError::into_inner);
-        }
-        self.clients.waiters.fetch_sub(1, Ordering::SeqCst);
-        drop(guard);
+        self.clients.wait_until(|| latch.probe());
     }
 
     /// Called by workers after executing any job: wakes parked clients so
@@ -183,10 +143,7 @@ impl Registry {
     /// after the latch store, so the job itself cannot carry the condvar —
     /// the registry, which outlives all jobs, does.)
     pub(crate) fn notify_clients(&self) {
-        if self.clients.waiters.load(Ordering::SeqCst) > 0 {
-            let _guard = lock(&self.clients.mutex);
-            self.clients.cv.notify_all();
-        }
+        self.clients.notify();
     }
 }
 
@@ -212,6 +169,9 @@ impl IdleBackoff {
         if self.rounds < Self::SPIN_ROUNDS {
             std::thread::yield_now();
         } else {
+            // Bounded nap, not synchronization: the waiter re-polls its
+            // latch; no correctness depends on the wake-up timing.
+            // lint: allow(thread_sleep)
             std::thread::sleep(Duration::from_micros(100));
         }
     }
@@ -256,14 +216,17 @@ impl WorkerThread {
 
     /// Pushes a job onto this worker's own deque (back / LIFO end).
     pub(crate) fn push(&self, job: JobRef) {
-        lock(&self.registry.workers[self.index].deque).push_back(job);
+        self.registry.workers[self.index]
+            .deque
+            .lock()
+            .push_back(job);
         self.registry.pending.fetch_add(1, Ordering::SeqCst);
-        self.registry.notify_workers();
+        self.registry.sleep.notify();
     }
 
     /// Pops from this worker's own deque (back / LIFO end).
     pub(crate) fn pop(&self) -> Option<JobRef> {
-        let job = lock(&self.registry.workers[self.index].deque).pop_back();
+        let job = self.registry.workers[self.index].deque.lock().pop_back();
         if job.is_some() {
             self.registry.pending.fetch_sub(1, Ordering::SeqCst);
         }
@@ -272,7 +235,7 @@ impl WorkerThread {
 
     /// Takes a job from the injector or steals from another worker's front.
     pub(crate) fn steal(&self) -> Option<JobRef> {
-        if let Some(job) = lock(&self.registry.injector).pop_front() {
+        if let Some(job) = self.registry.injector.lock().pop_front() {
             self.registry.pending.fetch_sub(1, Ordering::SeqCst);
             return Some(job);
         }
@@ -283,7 +246,7 @@ impl WorkerThread {
             if victim == self.index {
                 continue;
             }
-            if let Some(job) = lock(&self.registry.workers[victim].deque).pop_front() {
+            if let Some(job) = self.registry.workers[victim].deque.lock().pop_front() {
                 self.registry.pending.fetch_sub(1, Ordering::SeqCst);
                 self.steal_start.set(victim);
                 return Some(job);
@@ -333,24 +296,25 @@ fn main_loop(worker: &WorkerThread) {
             continue;
         }
         if registry.terminating() {
+            // Drain before exiting: a job injected after our find_work miss
+            // but before the terminate flag became visible would otherwise
+            // be abandoned in the deque (the model checker caught exactly
+            // this lost-work window: tests/model_registry.rs).  Seeing the
+            // flag means any pre-terminate inject completed in real time,
+            // so this later deque lock is ordered after it and must see
+            // the job — Relaxed on the flag stays sufficient.
+            while let Some(job) = worker.find_work() {
+                // Safety: queued jobs are live and unexecuted.
+                unsafe { worker.execute(job) };
+            }
             return;
         }
-        // Idle: register as a sleeper, re-check for work under the lock (the
-        // Dekker handshake with notify_workers), then park.  The timeout is a
-        // backstop only; normal wake-ups come from notify_workers /
-        // request_terminate.
-        let guard = lock(&registry.sleep.mutex);
-        registry.sleep.sleepers.fetch_add(1, Ordering::SeqCst);
-        if registry.pending.load(Ordering::SeqCst) == 0 && !registry.terminating() {
-            let (guard, _) = registry
-                .sleep
-                .cv
-                .wait_timeout(guard, Duration::from_millis(10))
-                .unwrap_or_else(PoisonError::into_inner);
-            drop(guard);
-        } else {
-            drop(guard);
-        }
-        registry.sleep.sleepers.fetch_sub(1, Ordering::SeqCst);
+        // Idle: register as a sleeper, re-check for work under the gate (the
+        // Dekker handshake with inject/push), then park.  The timeout is a
+        // backstop only; normal wake-ups come from notify / request_terminate.
+        registry.sleep.wait_brief(
+            || registry.pending.load(Ordering::SeqCst) == 0 && !registry.terminating(),
+            Duration::from_millis(10),
+        );
     }
 }

@@ -16,8 +16,8 @@ use crate::registry::{Registry, WorkerThread};
 use std::any::Any;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
+use wsm_check::sync::{AtomicUsize, Mutex, Ordering};
 
 /// A fork-join scope whose spawned jobs may borrow data of lifetime `'scope`.
 pub struct Scope<'scope> {
@@ -60,7 +60,10 @@ impl<'scope> Scope<'scope> {
     where
         BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
     {
-        self.pending.fetch_add(1, Ordering::SeqCst);
+        // ord: Relaxed — the increment is published to executing workers by
+        // the deque mutex the job is pushed under, and the scope owner reads
+        // it on its own thread; only the counter's atomicity matters here.
+        self.pending.fetch_add(1, Ordering::Relaxed);
         let scope_ptr = ScopePtr(self as *const Scope<'scope> as *const ());
         let job = HeapJob::new(move || {
             // Safety: see ScopePtr — the scope outlives this execution.
@@ -69,7 +72,10 @@ impl<'scope> Scope<'scope> {
                 scope.record_panic(payload);
             }
             // Final action: only after this may the scope unblock.
-            scope.pending.fetch_sub(1, Ordering::SeqCst);
+            // ord: Release — pairs with the scope owner's Acquire load so
+            // everything this job wrote (including `'scope` borrows)
+            // happens-before the scope call returns.
+            scope.pending.fetch_sub(1, Ordering::Release);
         });
         // Safety: the borrows inside `body` (lifetime 'scope) outlive the
         // job because the scope blocks until `pending` reaches zero, and the
@@ -82,7 +88,7 @@ impl<'scope> Scope<'scope> {
     }
 
     fn record_panic(&self, payload: Box<dyn Any + Send + 'static>) {
-        let mut slot = self.panic.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut slot = self.panic.lock();
         slot.get_or_insert(payload);
     }
 }
@@ -120,7 +126,9 @@ where
     // Work-stealing wait: keep the CPU busy on other jobs (often this very
     // scope's spawns) until every spawned job has settled.
     let mut backoff = crate::registry::IdleBackoff::new();
-    while scope.pending.load(Ordering::SeqCst) != 0 {
+    // ord: Acquire — pairs with each job's Release decrement; once this
+    // reads zero, every spawned job's effects are visible to the caller.
+    while scope.pending.load(Ordering::Acquire) != 0 {
         if let Some(job) = worker.find_work() {
             // Safety: queued jobs are live and unexecuted.
             unsafe { worker.execute(job) };
@@ -129,11 +137,7 @@ where
             backoff.idle();
         }
     }
-    let recorded = scope
-        .panic
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .take();
+    let recorded = scope.panic.lock().take();
     match (result, recorded) {
         (Err(payload), _) => panic::resume_unwind(payload),
         (Ok(_), Some(payload)) => panic::resume_unwind(payload),

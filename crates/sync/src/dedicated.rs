@@ -72,8 +72,15 @@ impl DedicatedLock {
     /// Panics if `key >= keys()`.
     pub fn acquire(&self, key: usize) {
         assert!(key < self.slots.len(), "key {key} out of range");
+        // ord: AcqRel — the lock-acquisition RMW: Acquire pairs with the
+        // releasing fetch_sub so the previous holder's critical section
+        // happens-before ours on the uncontended path; Release orders this
+        // contender registration before the releaser's count read, so a
+        // releaser that sees count > 1 knows a waiter is coming.
         if self.count.fetch_add(1, Ordering::AcqRel) == 0 {
             // Uncontended fast path: we now hold the lock.
+            // ord: Release — publishes the holder key to the Acquire load in
+            // release(), so the handoff scan starts at the current holder.
             self.holder.store(key, Ordering::Release);
             return;
         }
@@ -90,6 +97,9 @@ impl DedicatedLock {
             slot.cv.wait(&mut st);
         }
         *st = SlotState::Empty;
+        // ord: Release — as on the fast path: publish the new holder key for
+        // the next release()'s scan start.  (The critical-section handoff
+        // itself is carried by the slot mutex/condvar, not by this store.)
         self.holder.store(key, Ordering::Release);
     }
 
@@ -102,7 +112,15 @@ impl DedicatedLock {
     /// Releases the lock, handing it to the waiting thread whose key follows
     /// the current holder's key in cyclic order (if any).
     pub fn release(&self) {
+        // ord: Acquire — pairs with the Release holder stores; only the
+        // current holder calls release(), so this reads its own (or, via the
+        // handoff mutex, the previous holder's) published key.
         let holder = self.holder.load(Ordering::Acquire);
+        // ord: AcqRel — the lock-release RMW: Release publishes our critical
+        // section to the next fetch_add acquirer; Acquire orders the waiter
+        // slot scan below after the count observation, pairing with waiters'
+        // AcqRel registration so a count > 1 means a waiter has registered
+        // (or is about to — the scan loops until it appears).
         if self.count.fetch_sub(1, Ordering::AcqRel) > 1 {
             // Someone is (or is about to be) waiting: scan cyclically from the
             // key after the holder's until we find a registered waiter.  The
@@ -129,6 +147,8 @@ impl DedicatedLock {
     /// Number of threads currently holding or waiting for the lock (racy; for
     /// diagnostics and tests).
     pub fn contenders(&self) -> usize {
+        // ord: Relaxed — advisory snapshot for diagnostics; no decision that
+        // affects the handoff protocol is taken on it.
         self.count.load(Ordering::Relaxed)
     }
 }
@@ -254,7 +274,9 @@ mod tests {
                 lock.release();
             }));
             // Give the thread time to register its wait before spawning the
-            // next, so both are queued when we release.
+            // next, so both are queued when we release (test traffic
+            // shaping, not synchronization — the join below is the sync).
+            // lint: allow(thread_sleep)
             std::thread::sleep(std::time::Duration::from_millis(50));
         }
         lock.release();

@@ -33,8 +33,7 @@
 //! need ~10^19 publications per shard; on 32-bit targets the shard must see a
 //! drain every 2^32 publications).
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use wsm_check::sync::{AtomicBool, AtomicUsize, Mutex, Ordering};
 
 /// A sequence-stamped publication cell.
 ///
@@ -100,17 +99,27 @@ impl<T> MpscShard<T> {
     /// cell.  Returns `true` if the item went through the ring, `false` if it
     /// spilled to the overflow list (ring full).
     pub fn publish(&self, item: T) -> bool {
+        // ord: Relaxed — advisory routing hint only; the authoritative
+        // overflow state lives under the overflow mutex, and a stale read
+        // merely picks the other (still-correct) publication path.
         if self.overflowed.load(Ordering::Relaxed) {
             // Keep FIFO across the overflow episode: once one push spilled,
             // later pushes spill too until a drain resets the flag.
             self.publish_overflow(item);
             return false;
         }
+        // ord: Relaxed — cursor hint; the CAS below re-validates the ticket.
         let mut t = self.tail.load(Ordering::Relaxed);
         loop {
             let cell = &self.cells[t & self.mask];
+            // ord: Acquire — pairs with the consumer's Release re-stamp so a
+            // recycled cell's prior contents are fully released before we
+            // overwrite the slot (model: tests/model_mpsc.rs).
             let seq = cell.seq.load(Ordering::Acquire);
             if seq == t {
+                // ord: Relaxed — the ticket CAS only arbitrates ownership of
+                // cell `t`; publication visibility is carried by the seq
+                // stamp pair, not by the cursor (model: tests/model_mpsc.rs).
                 match self.tail.compare_exchange_weak(
                     t,
                     t + 1,
@@ -121,6 +130,9 @@ impl<T> MpscShard<T> {
                         // We own cell `t` exclusively until the stamp below:
                         // the lock is free by the sequence protocol.
                         *cell.slot.lock() = Some(item);
+                        // ord: Release — publication stamp; pairs with the
+                        // consumer's Acquire load so the slot write above
+                        // happens-before the take (model: tests/model_mpsc.rs).
                         cell.seq.store(t + 1, Ordering::Release);
                         return true;
                     }
@@ -132,6 +144,7 @@ impl<T> MpscShard<T> {
                 return false;
             } else {
                 // Another producer claimed ticket `t`; chase the tail.
+                // ord: Relaxed — cursor hint; re-validated by the next CAS.
                 t = self.tail.load(Ordering::Relaxed);
             }
         }
@@ -142,6 +155,8 @@ impl<T> MpscShard<T> {
         overflow.push(item);
         // Under the overflow lock, so the flag agrees with non-emptiness at
         // every lock release.
+        // ord: Relaxed — the overflow mutex orders flag against list; the
+        // flag alone is only ever a routing hint (see publish).
         self.overflowed.store(true, Ordering::Relaxed);
     }
 
@@ -158,11 +173,46 @@ impl<T> MpscShard<T> {
     pub fn drain_into(&self, out: &mut Vec<T>) -> usize {
         let before = out.len();
         let mut head = self.head.lock();
+        if !self.drain_ring(&mut head, out) {
+            let mut overflow = self.overflow.lock();
+            // Re-scan the ring *under the overflow lock* before appending:
+            // between the scan above and taking the lock, producers may have
+            // filled the ring and spilled — those ring items precede every
+            // overflow item in publication order, so appending the overflow
+            // without the re-scan would reorder a producer's pushes across
+            // the ring/overflow boundary.  (Found by the model harness in
+            // tests/model_mpsc.rs; every spill happens under this lock, so
+            // the lock acquisition also makes the spilling producers' prior
+            // ring stamps visible to the re-scan.)
+            if self.drain_ring(&mut head, out) {
+                // Stalled on an in-flight cell: leave the overflow list for
+                // the next drain so it cannot overtake the stuck ring items.
+                return out.len() - before;
+            }
+            out.append(&mut *overflow);
+            // ord: Relaxed — reset under the overflow mutex, mirroring the
+            // set in publish_overflow; hint-only outside the lock.
+            self.overflowed.store(false, Ordering::Relaxed);
+        }
+        out.len() - before
+    }
+
+    /// Drains published ring items starting at `head` into `out`.  Returns
+    /// `true` if the scan stalled on a claimed-but-unpublished cell (the
+    /// producer is between its CAS and its release store); the caller must
+    /// then leave the overflow list untouched to preserve FIFO.
+    fn drain_ring(&self, head: &mut usize, out: &mut Vec<T>) -> bool {
         let mut spins = 0u32;
-        let mut stalled = false;
+        // Under the model scheduler every spin iteration is a distinct step
+        // that multiplies the explored state space; one retry is enough to
+        // exercise the stall branch there.
+        let spin_limit: u32 = if wsm_check::model_active() { 1 } else { 128 };
         loop {
             let h = *head;
             let cell = &self.cells[h & self.mask];
+            // ord: Acquire — pairs with the producer's Release stamp; makes
+            // the slot write visible before we take it (model:
+            // tests/model_mpsc.rs).
             let seq = cell.seq.load(Ordering::Acquire);
             if seq == h + 1 {
                 let item = cell
@@ -170,30 +220,30 @@ impl<T> MpscShard<T> {
                     .lock()
                     .take()
                     .expect("published cell holds a value");
+                // ord: Release — recycle stamp; pairs with the next-lap
+                // producer's Acquire load so our take happens-before its
+                // overwrite (model: tests/model_mpsc.rs).
                 cell.seq.store(h + self.cells.len(), Ordering::Release);
                 *head = h + 1;
                 out.push(item);
                 spins = 0;
-            } else if seq == h && self.tail.load(Ordering::Acquire) > h {
-                if spins < 128 {
+            } else if seq == h
+                // ord: Acquire — distinguishes "claimed, publication in
+                // flight" from "nothing published"; pairs with producers'
+                // ticket CASes on the same cursor.
+                && self.tail.load(Ordering::Acquire) > h
+            {
+                if spins < spin_limit {
                     // Claimed, publication in flight.
                     spins += 1;
                     std::hint::spin_loop();
                 } else {
-                    stalled = true;
-                    break;
+                    return true;
                 }
             } else {
-                break;
+                return false;
             }
         }
-        drop(head);
-        if !stalled {
-            let mut overflow = self.overflow.lock();
-            out.append(&mut *overflow);
-            self.overflowed.store(false, Ordering::Relaxed);
-        }
-        out.len() - before
     }
 }
 

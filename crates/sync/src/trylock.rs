@@ -3,7 +3,7 @@
 //! `TryLock(x)` is a single test-and-set; `Unlock(x)` is a store.  Acquisition
 //! attempts never block: they either succeed immediately or fail.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use wsm_check::sync::{AtomicBool, Ordering};
 
 /// A non-blocking (test-and-set) lock.
 ///
@@ -28,6 +28,9 @@ impl NonBlockingLock {
     /// written before the previous `unlock`.
     #[inline]
     pub fn try_lock(&self) -> bool {
+        // ord: Acquire — pairs with the Release in unlock so the critical
+        // section observes everything written before the previous unlock
+        // (model: tests/model_doorbell.rs, combiner mutual exclusion).
         !self.held.swap(true, Ordering::Acquire)
     }
 
@@ -35,6 +38,8 @@ impl NonBlockingLock {
     /// error but is memory-safe; it simply marks the lock free.
     #[inline]
     pub fn unlock(&self) {
+        // ord: Release — publishes the critical section to the next
+        // Acquire swap in try_lock (model: tests/model_doorbell.rs).
         self.held.store(false, Ordering::Release);
     }
 
@@ -51,6 +56,8 @@ impl NonBlockingLock {
     /// Whether the lock currently appears held (racy; for diagnostics only).
     #[inline]
     pub fn is_held(&self) -> bool {
+        // ord: Relaxed — diagnostics only; never used to enter the
+        // critical section.
         self.held.load(Ordering::Relaxed)
     }
 }

@@ -80,6 +80,7 @@ impl<K: Ord + Clone, V: Clone> Default for RecencyMap<K, V> {
 
 impl<K: Ord + Clone, V: Clone> RecencyMap<K, V> {
     /// Creates an empty map.
+    // lint: allow(unmetered) — trivial constructor, no nodes exist to charge
     pub fn new() -> Self {
         RecencyMap {
             key_map: Tree23::new(),
@@ -92,11 +93,13 @@ impl<K: Ord + Clone, V: Clone> RecencyMap<K, V> {
     }
 
     /// Number of items.
+    // lint: allow(unmetered) — O(1) cached arena count, no traversal
     pub fn len(&self) -> usize {
         self.len
     }
 
     /// True if the map holds no items.
+    // lint: allow(unmetered) — O(1) counter probe, no traversal
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -526,6 +529,7 @@ impl<K: Ord + Clone, V: Clone> RecencyMap<K, V> {
     // ------------------------------------------------------------------
 
     /// The most recent item without removing it.  O(1): the list head.
+    // lint: allow(unmetered) — O(1) list-head read, touches no tree node
     pub fn peek_front(&self) -> Option<(&K, &V)> {
         (self.head != NIL).then(|| {
             let (k, v) = self.slot_item(self.head);
@@ -534,6 +538,7 @@ impl<K: Ord + Clone, V: Clone> RecencyMap<K, V> {
     }
 
     /// The least recent item without removing it.  O(1): the list tail.
+    // lint: allow(unmetered) — O(1) list-tail read, touches no tree node
     pub fn peek_back(&self) -> Option<(&K, &V)> {
         (self.tail != NIL).then(|| {
             let (k, v) = self.slot_item(self.tail);
@@ -543,6 +548,7 @@ impl<K: Ord + Clone, V: Clone> RecencyMap<K, V> {
 
     /// All items in recency order (most recent first).  O(n) list walk;
     /// intended for tests, invariant checks and the cost-lemma simulations.
+    // lint: allow(unmetered) — diagnostic whole-list walk over the arena, not a map operation
     pub fn items_in_recency_order(&self) -> Vec<(K, V)> {
         let mut out = Vec::with_capacity(self.len);
         let mut cur = self.head;
@@ -554,6 +560,7 @@ impl<K: Ord + Clone, V: Clone> RecencyMap<K, V> {
     }
 
     /// All keys in key order.
+    // lint: allow(unmetered) — whole-tree dump via Tree23::keys, same exemption as for_each
     pub fn keys_sorted(&self) -> Vec<K> {
         self.key_map.keys()
     }

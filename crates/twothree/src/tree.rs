@@ -24,6 +24,7 @@ pub struct Tree23<K, V> {
 
 impl<K: Ord + Clone, V> Tree23<K, V> {
     /// Creates an empty tree.
+    // lint: allow(unmetered) — trivial constructor, no nodes exist to charge
     pub fn new() -> Self {
         Tree23 { root: None }
     }
@@ -45,16 +46,19 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
     }
 
     /// Number of items.
+    // lint: allow(unmetered) — O(1) cached subtree size, no node traversal
     pub fn len(&self) -> usize {
         self.root.as_ref().map_or(0, Node::size)
     }
 
     /// True if the tree holds no items.
+    // lint: allow(unmetered) — O(1) root probe, no node traversal
     pub fn is_empty(&self) -> bool {
         self.root.is_none()
     }
 
     /// Height of the tree (`0` for empty or single-leaf trees).
+    // lint: allow(unmetered) — O(1) cached height, no node traversal
     pub fn height(&self) -> usize {
         self.root.as_ref().map_or(0, Node::height)
     }
@@ -228,6 +232,7 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
     }
 
     /// Calls `f` on every item in key order.
+    // lint: allow(unmetered) — whole-tree read sweep for tests/dumps; the cost model charges searches and restructures, not linear scans
     pub fn for_each<'a, F: FnMut(&'a K, &'a V)>(&'a self, mut f: F) {
         if let Some(root) = &self.root {
             root.for_each(&mut f);
@@ -235,6 +240,7 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
     }
 
     /// Collects all keys in order (cloned).
+    // lint: allow(unmetered) — whole-tree dump via for_each, same exemption
     pub fn keys(&self) -> Vec<K> {
         let mut out = Vec::with_capacity(self.len());
         self.for_each(|k, _| out.push(k.clone()));
