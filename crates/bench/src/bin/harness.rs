@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! harness [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15|e16|e17|e18|all] [--small] [--threads N]
+//! harness [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15|e16|e17|e18|e19|all] [--small] [--threads N]
 //! ```
 //! With no experiment argument, all experiments run at their default
 //! (paper-shaped) sizes; `--small` shrinks them for a quick smoke run.
@@ -84,9 +84,9 @@ fn emit(ids: &[&str], title: &str, rows: &[bench::Row], threads: Option<usize>, 
 }
 
 /// Every experiment id an artifact is expected for (aliases included).
-const ALL_IDS: [&str; 18] = [
+const ALL_IDS: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];
 
 /// Warns about experiment ids with no committed artifact for the active
@@ -311,6 +311,24 @@ fn main() {
             small,
         );
     }
+    if run("e19") {
+        // E19 spawns its own OS threads and the sharded maps own their
+        // router pools, so it runs outside the `in_pool` wrapper.
+        let t = threads.unwrap_or(4).max(1);
+        let rows = bench::experiment_sharded(
+            sizes.keyspace,
+            sizes.operations.min(1 << 14),
+            t,
+            sizes.scale_reps,
+        );
+        emit(
+            &["e19"],
+            "E19: sharded front-end scaling (ShardedMap vs one combiner, shards x threads x skew, per-shard W/W_L)",
+            &rows,
+            threads,
+            small,
+        );
+    }
     if run("e15") {
         // E15 manages its own pools (one per swept worker count), so it runs
         // outside the `in_pool` wrapper.
@@ -386,7 +404,7 @@ fn parse_positive(flag: &str, value: &str) -> usize {
 fn usage_error(msg: &str) -> ! {
     eprintln!("harness: {msg}");
     eprintln!(
-        "usage: harness [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15|e16|e17|e18|all] [--small] [--threads N]"
+        "usage: harness [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15|e16|e17|e18|e19|all] [--small] [--threads N]"
     );
     std::process::exit(2);
 }

@@ -702,7 +702,10 @@ pub fn experiment_scaling(
 ///   the same stream with the small-batch inline threshold pinned to `T`
 ///   (`0` disables the fast path, reproducing the pre-inline behaviour, so
 ///   the `inline=0` row *is* the old-regime baseline the ROADMAP's 100x gap
-///   was measured against);
+///   was measured against); `… cell` rows repeat the winning thresholds with
+///   the slot-free `WSM_HANDOFF=cell` waiter hand-off (spin on the caller's
+///   own result cell instead of parking on the shared doorbell), A/B-ing the
+///   two hand-off modes on identical streams;
 /// * `constants` — thread-independent analytic constant factors: effective
 ///   work of M1/M2 over `W_L` on the Zipf stream, and the
 ///   `tcost::batch_op(b, n)` charge per `b·(log n + 1)` unit.
@@ -718,7 +721,7 @@ pub fn experiment_hot_paths(
 ) -> Vec<Row> {
     use std::sync::{Arc, Mutex};
     use std::time::Instant;
-    use wsm_core::ConcurrentMap;
+    use wsm_core::{ConcurrentMap, Handoff};
     use wsm_twothree::cost as tcost;
 
     let threads = threads.max(1);
@@ -788,9 +791,16 @@ pub fn experiment_hot_paths(
         ],
     ));
 
-    // --- implicitly batched map, swept over the inline threshold ---------
+    // --- implicitly batched map: inline threshold × hand-off mode --------
     let pool = Arc::new(wsm_pool::ThreadPool::new(threads));
-    for threshold in [0usize, 8, 64, 256] {
+    for (threshold, handoff) in [
+        (0usize, Handoff::Doorbell),
+        (8, Handoff::Doorbell),
+        (64, Handoff::Doorbell),
+        (256, Handoff::Doorbell),
+        (64, Handoff::Cell),
+        (256, Handoff::Cell),
+    ] {
         let mut total_ns = 0.0;
         let mut work_per_req = 0.0;
         for _ in 0..reps {
@@ -799,7 +809,8 @@ pub fn experiment_hot_paths(
             let warm_work = inner.effective_work();
             let map = Arc::new(
                 ConcurrentMap::with_pool(inner, threads, Arc::clone(&pool))
-                    .with_inline_threshold(threshold),
+                    .with_inline_threshold(threshold)
+                    .with_handoff(handoff),
             );
             let start = Instant::now();
             std::thread::scope(|s| {
@@ -819,8 +830,12 @@ pub fn experiment_hot_paths(
             work_per_req = (map.effective_work() - warm_work) as f64 / total_ops as f64;
         }
         let ns_op = total_ns / (reps as u64 * total_ops) as f64;
+        let mode = match handoff {
+            Handoff::Doorbell => String::new(),
+            Handoff::Cell => " cell".to_string(),
+        };
         rows.push(Row::new(
-            format!("web-cache map inline={threshold} t={threads}"),
+            format!("web-cache map inline={threshold}{mode} t={threads}"),
             vec![
                 ("mean ns/op", ns_op),
                 ("wall vs avl", ns_op / avl_ns_op),
@@ -1118,6 +1133,182 @@ pub fn experiment_invariants(keyspace: u64, operations: usize) -> Vec<Row> {
     )]
 }
 
+/// E19: sharded front-end scaling — `wsm_shard::ShardedMap` against a single
+/// flat-combining `ConcurrentMap` across shards × threads × skew.
+///
+/// Every configuration serves the identical deterministic request streams:
+/// `t` OS threads each submit their stream in 64-operation batches
+/// (`run_batch` for the sharded map, `call_batch` for the unsharded
+/// baseline).  Two skews: a shared-hot-set Zipfian stream (worst case for
+/// hash sharding — the hot keys land on a few shards) and the multi-tenant
+/// pattern from ROADMAP 5a (best case — each tenant's private hot set splits
+/// cleanly).
+///
+/// Columns per row:
+///
+/// * `mean ns/op` — wall-clock per operation over the access phase;
+/// * `wall vs unsharded` — ratio against the unsharded baseline at the same
+///   skew and thread count (1.0 = parity; the `S=1` row records the router's
+///   pure overhead, which acceptance tracks as "sharded ≥ unsharded at S=1");
+/// * `shard W/W_L` — mean over shards of effective work divided by the
+///   working-set bound of that shard's *projected* stream (the per-thread
+///   streams round-robin interleaved, then split by `shard_of`, exactly the
+///   1/S-thinned sequence each shard actually serves).  Compared with the
+///   unsharded row's `W/W_L`, this is the thinning curve: hash-splitting a
+///   skewed stream dilutes each shard's locality, so the per-shard constant
+///   drifts up with `S` while wall-clock drops.
+///
+/// Wall-clock rows need a multi-core runner to show scaling; the `W/W_L`
+/// columns are exact everywhere.  Persisted to `BENCH_e19.json`.
+pub fn experiment_sharded(
+    keyspace: u64,
+    operations: usize,
+    max_threads: usize,
+    reps: usize,
+) -> Vec<Row> {
+    use std::sync::Arc;
+    use std::time::Instant;
+    use wsm_core::ConcurrentMap;
+    use wsm_shard::ShardedMap;
+
+    const CHUNK: usize = 64;
+    let max_threads = max_threads.max(1);
+    let reps = reps.max(1);
+    let thread_counts: Vec<usize> = [1usize, 2, 4]
+        .into_iter()
+        .filter(|&t| t <= max_threads)
+        .collect();
+    let skews = [
+        ("zipf s=1.1", Pattern::Zipf(1.1)),
+        (
+            "4 tenants s=1.1",
+            Pattern::MultiTenant { tenants: 4, s: 1.1 },
+        ),
+    ];
+    let load_keys: Vec<u64> = (0..keyspace).collect();
+    let mut rows = Vec::new();
+
+    for (skew_label, pattern) in skews {
+        for &t in &thread_counts {
+            let per_thread = (operations / t).max(1);
+            let streams: Vec<Vec<u64>> = (0..t)
+                .map(|w| {
+                    WorkloadSpec::read_only(keyspace, per_thread, pattern, w as u64)
+                        .access_phase()
+                        .iter()
+                        .map(|op| *op.key())
+                        .collect()
+                })
+                .collect();
+            let total_ops = (t * per_thread) as f64;
+            // Deterministic serial proxy of what the maps see: the thread
+            // streams round-robin interleaved.  `W_L` projections per shard
+            // are computed over this sequence.
+            let interleaved: Vec<u64> = (0..per_thread)
+                .flat_map(|i| streams.iter().map(move |s| s[i]))
+                .collect();
+            let wl_of = |keys: &[u64], owned_loads: &[u64]| -> f64 {
+                let mut seq: Vec<MapOpKind<u64>> =
+                    owned_loads.iter().map(|&k| MapOpKind::Insert(k)).collect();
+                seq.extend(keys.iter().map(|&k| MapOpKind::Search(k)));
+                working_set_bound(&seq) as f64
+            };
+
+            // --- unsharded baseline: one combiner serves every thread -----
+            let mut base_total_ns = 0.0;
+            let mut base_work = 0.0;
+            for _ in 0..reps {
+                let map = Arc::new(ConcurrentMap::new(M1::<u64, u64>::new(t.max(2)), t));
+                for chunk in load_keys.chunks(512) {
+                    map.call_batch(0, chunk.iter().map(|&k| Operation::Insert(k, k)).collect());
+                }
+                let warm = map.effective_work();
+                let start = Instant::now();
+                std::thread::scope(|s| {
+                    for (w, stream) in streams.iter().enumerate() {
+                        let map = Arc::clone(&map);
+                        s.spawn(move || {
+                            for chunk in stream.chunks(CHUNK) {
+                                map.call_batch(
+                                    w,
+                                    chunk.iter().map(|&k| Operation::Search(k)).collect(),
+                                );
+                            }
+                        });
+                    }
+                });
+                base_total_ns += start.elapsed().as_nanos() as f64;
+                base_work = (map.effective_work() - warm) as f64;
+            }
+            let base_ns_op = base_total_ns / (reps as f64 * total_ops);
+            rows.push(Row::new(
+                format!("{skew_label} unsharded t={t}"),
+                vec![
+                    ("mean ns/op", base_ns_op),
+                    ("wall vs unsharded", 1.0),
+                    ("shard W/W_L", base_work / wl_of(&interleaved, &load_keys)),
+                ],
+            ));
+
+            // --- sharded front-end, swept over the shard count ------------
+            for shards in [1usize, 2, 4] {
+                let mut total_ns = 0.0;
+                let mut shard_ratio = 0.0;
+                for _ in 0..reps {
+                    let map = Arc::new(ShardedMap::with_shards(shards, |_| {
+                        M1::<u64, u64>::new(t.max(2))
+                    }));
+                    for chunk in load_keys.chunks(512) {
+                        map.insert_batch(chunk.iter().map(|&k| (k, k)).collect());
+                    }
+                    let warm: Vec<u64> =
+                        map.shard_stats().iter().map(|s| s.effective_work).collect();
+                    let start = Instant::now();
+                    std::thread::scope(|s| {
+                        for stream in &streams {
+                            let map = Arc::clone(&map);
+                            s.spawn(move || {
+                                for chunk in stream.chunks(CHUNK) {
+                                    map.run_batch(
+                                        chunk.iter().map(|&k| Operation::Search(k)).collect(),
+                                    );
+                                }
+                            });
+                        }
+                    });
+                    total_ns += start.elapsed().as_nanos() as f64;
+                    // Per-shard W/W_L over the shard's own projected stream.
+                    shard_ratio = map
+                        .shard_stats()
+                        .iter()
+                        .map(|stats| {
+                            let mine = |keys: &[u64]| -> Vec<u64> {
+                                keys.iter()
+                                    .copied()
+                                    .filter(|k| map.shard_of(k) == stats.shard)
+                                    .collect()
+                            };
+                            let work = (stats.effective_work - warm[stats.shard]) as f64;
+                            work / wl_of(&mine(&interleaved), &mine(&load_keys))
+                        })
+                        .sum::<f64>()
+                        / shards as f64;
+                }
+                let ns_op = total_ns / (reps as f64 * total_ops);
+                rows.push(Row::new(
+                    format!("{skew_label} S={shards} t={t}"),
+                    vec![
+                        ("mean ns/op", ns_op),
+                        ("wall vs unsharded", ns_op / base_ns_op),
+                        ("shard W/W_L", shard_ratio),
+                    ],
+                ));
+            }
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1156,9 +1347,13 @@ mod tests {
     #[test]
     fn hot_path_experiment_rows_are_well_formed() {
         let rows = experiment_hot_paths(1 << 9, 1 << 8, 2, 1);
-        // 1 AVL row + 4 threshold rows + 1 constants row.
-        assert_eq!(rows.len(), 6);
-        for row in &rows[..5] {
+        // 1 AVL row + 6 threshold×hand-off rows + 1 constants row.
+        assert_eq!(rows.len(), 8);
+        assert_eq!(
+            rows.iter().filter(|r| r.label.contains(" cell ")).count(),
+            2
+        );
+        for row in &rows[..7] {
             let ns_op = row
                 .values
                 .iter()
@@ -1285,6 +1480,31 @@ mod tests {
     fn invariant_experiment_passes() {
         let rows = experiment_invariants(1 << 9, 1 << 11);
         assert!(rows[0].values[0].1 > 0.0);
+    }
+
+    #[test]
+    fn sharded_experiment_rows_are_well_formed() {
+        let rows = experiment_sharded(1 << 9, 1 << 10, 2, 1);
+        // 2 skews × 2 thread counts × (1 unsharded + 3 shard counts).
+        assert_eq!(rows.len(), 16);
+        for row in &rows {
+            let get = |key: &str| row.values.iter().find(|(k, _)| k == key).unwrap().1;
+            assert!(
+                get("mean ns/op") > 0.0,
+                "non-positive timing in {}",
+                row.label
+            );
+            assert!(
+                get("shard W/W_L") > 0.0 && get("shard W/W_L").is_finite(),
+                "implausible W/W_L in {}",
+                row.label
+            );
+            if row.label.contains("unsharded") {
+                assert_eq!(get("wall vs unsharded"), 1.0, "{}", row.label);
+            } else {
+                assert!(get("wall vs unsharded") > 0.0, "{}", row.label);
+            }
+        }
     }
 
     #[test]

@@ -365,7 +365,12 @@ fn rule_forbid_header(file: &SourceFile, masked: &str, out: &mut Vec<Violation>)
 /// R3: `// ord:` justification on every non-SeqCst ordering site in the
 /// concurrent crates' non-test code.
 fn rule_ord_justified(file: &SourceFile, masked: &str, out: &mut Vec<Violation>) {
-    let concurrent = ["crates/sync/", "crates/pool/", "crates/core/"];
+    let concurrent = [
+        "crates/sync/",
+        "crates/pool/",
+        "crates/core/",
+        "crates/shard/",
+    ];
     if !concurrent.iter().any(|d| file.in_dir(d)) {
         return;
     }

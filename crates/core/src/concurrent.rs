@@ -20,7 +20,12 @@
 //!   wake-up, which also closes the classic flat-combining hand-off race (a
 //!   combiner observing an empty buffer and exiting just as a new operation
 //!   lands): the ring that follows every activation guarantees somebody
-//!   re-checks.
+//!   re-checks.  Alternatively, `WSM_HANDOFF=cell` (or
+//!   [`ConcurrentMap::with_handoff`]) selects the *slot-free* hand-off: a
+//!   waiter spins with yields on its own sequence-stamped
+//!   [`crate::handoff::ResultCell`] and never parks, removing the park/wake
+//!   futex round trip entirely — see [`Handoff`] and experiment E16's A/B
+//!   rows.
 //! * **Pool-driven batches, with a small-batch inline fast path.**  The
 //!   combiner executes large batches inside the work-stealing pool
 //!   (`wsm_pool`), so the parallel recursions inside the batched map (PESort,
@@ -34,41 +39,57 @@
 //!   low-concurrency callers — see experiment E16.
 //!
 //! One usage rule follows from the pool dispatch: do not call the map from
-//! *inside* a pool task (`wsm_pool::join`/`scope` closures) — map calls block
-//! on the doorbell, and a blocked worker cannot help execute the very batch
-//! it is waiting on.  Ordinary OS threads (as in the tests, examples and
-//! benches) are the intended callers, matching the paper's model of `p`
-//! processors calling the map.
+//! *inside* a task of the pool that executes its batches
+//! (`wsm_pool::join`/`scope` closures) — map calls block on the doorbell,
+//! and a blocked worker cannot help execute the very batch it is waiting on.
+//! Ordinary OS threads (as in the tests, examples and benches) are the
+//! intended callers, matching the paper's model of `p` processors calling
+//! the map.  The `wsm-shard` router respects this rule by dispatching its
+//! blocking [`ConcurrentMap::call_batch`] calls on a *dedicated* router pool
+//! (never the batch-execution pool): a router worker that wins a shard's
+//! combiner election runs the batch inline on itself (`wsm_pool::run` is
+//! inline on a worker, and un-stolen `join` halves execute on the caller),
+//! so its progress never depends on another blocked router worker.
 
 use crate::buffer::ParallelBuffer;
 use crate::doorbell::Doorbell;
+use crate::handoff::ResultCell;
 use crate::ops::{BatchedMap, OpId, OpResult, Operation, TaggedOp};
 use std::sync::Arc;
 use wsm_check::sync::Mutex;
 
-struct ResultSlot<V> {
-    result: Mutex<Option<OpResult<V>>>,
-}
-
-impl<V> ResultSlot<V> {
-    fn new() -> Arc<Self> {
-        Arc::new(ResultSlot {
-            result: Mutex::new(None),
-        })
-    }
-
-    fn fill(&self, r: OpResult<V>) {
-        *self.result.lock() = Some(r);
-    }
-
-    fn try_take(&self) -> Option<OpResult<V>> {
-        self.result.lock().take()
-    }
-}
-
 struct Pending<K, V> {
     op: Operation<K, V>,
-    slot: Arc<ResultSlot<V>>,
+    slot: Arc<ResultCell<OpResult<V>>>,
+}
+
+/// How a waiting caller learns that its result has been deposited.
+///
+/// Either way the result itself travels through the caller's own
+/// sequence-stamped [`ResultCell`]; the mode only selects what the caller
+/// does when the cell is still empty after its spin window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Handoff {
+    /// Park on the map's shared generation-counting [`Doorbell`] (the
+    /// default).  One futex word serves every waiter; the combiner rings it
+    /// once per activation.
+    Doorbell,
+    /// Never park: keep spinning (with yields) on the caller's own result
+    /// cell, re-attempting the combiner activation between spin windows.
+    /// Removes the park/wake futex round trip from the hand-off at the cost
+    /// of burning yields while waiting — a good trade when combine cycles
+    /// are short (small batches) or cores outnumber runnable threads.
+    /// Selected per process with `WSM_HANDOFF=cell`.
+    Cell,
+}
+
+/// The process-wide hand-off mode: `WSM_HANDOFF=cell` or (default)
+/// `doorbell`.
+fn handoff_from_env() -> Handoff {
+    match std::env::var("WSM_HANDOFF").as_deref() {
+        Ok("cell") => Handoff::Cell,
+        _ => Handoff::Doorbell,
+    }
 }
 
 /// Default inline-batch threshold: batches of at most this many operations
@@ -108,7 +129,7 @@ fn inline_threshold_from_env() -> usize {
 /// it exists to keep the map `Sync` without `unsafe`.
 struct CombineScratch<K, V> {
     pending: Vec<Pending<K, V>>,
-    slots: Vec<Arc<ResultSlot<V>>>,
+    slots: Vec<Arc<ResultCell<OpResult<V>>>>,
 }
 
 /// A concurrent map front-end that implicitly batches calls from many threads
@@ -127,8 +148,11 @@ pub struct ConcurrentMap<K, V, M> {
     /// Batches of at most this many operations run inline on the combiner
     /// thread instead of round-tripping through the pool.
     inline_threshold: usize,
-    /// Yield-and-recheck rounds before a waiting caller parks.
+    /// Yield-and-recheck rounds before a waiting caller parks (doorbell
+    /// mode) or re-attempts the activation (cell mode).
     spin_wait: u32,
+    /// How waiting callers learn their result arrived.
+    handoff: Handoff,
 }
 
 impl<K, V, M> ConcurrentMap<K, V, M>
@@ -161,6 +185,7 @@ where
             pool,
             inline_threshold: inline_threshold_from_env(),
             spin_wait: spin_wait_from_env(),
+            handoff: handoff_from_env(),
         }
     }
 
@@ -178,6 +203,20 @@ where
     /// The current inline-batch threshold.
     pub fn inline_threshold(&self) -> usize {
         self.inline_threshold
+    }
+
+    /// Overrides the waiter hand-off mode for this map (the default comes
+    /// from `WSM_HANDOFF`): [`Handoff::Cell`] waiters never park on the
+    /// doorbell, they spin on their own sequence-stamped result cell.
+    #[must_use]
+    pub fn with_handoff(mut self, handoff: Handoff) -> Self {
+        self.handoff = handoff;
+        self
+    }
+
+    /// The current waiter hand-off mode.
+    pub fn handoff(&self) -> Handoff {
+        self.handoff
     }
 
     /// Consumes the wrapper, returning the underlying batched map.
@@ -198,6 +237,13 @@ where
     /// Total effective work charged by the underlying batched map.
     pub fn effective_work(&self) -> u64 {
         self.inner.lock().effective_work()
+    }
+
+    /// Number of background maintenance runs the underlying map has executed
+    /// (0 for maps without a maintenance cascade — see
+    /// [`BatchedMap::maintenance_runs`]).
+    pub fn maintenance_runs(&self) -> u64 {
+        self.inner.lock().maintenance_runs()
     }
 
     /// Searches for a key.  `shard` should identify the calling thread (any
@@ -236,7 +282,7 @@ where
     /// the buffer was empty and our own result was delivered (possibly by an
     /// earlier combiner).
     pub fn call(&self, shard: usize, op: Operation<K, V>) -> OpResult<V> {
-        let slot = ResultSlot::new();
+        let slot = Arc::new(ResultCell::new());
         self.buffer.push(
             shard,
             Pending {
@@ -246,35 +292,7 @@ where
         );
         loop {
             let seen = self.doorbell.current();
-            // Try to become the combiner; whoever wins processes everything
-            // currently buffered (and re-runs while more arrives).  The
-            // readiness condition is `true` so that *holding* the activation
-            // always implies at least one run — and therefore a ring below —
-            // even if the buffer momentarily looks empty.
-            let runs = self.buffer.activate(
-                || true,
-                || {
-                    let drained = self.combine();
-                    let more = !self.buffer.is_empty();
-                    if more && drained == 0 {
-                        // The buffer claims an item the flush could not see:
-                        // a producer is mid-publish (counted, seq stamp not
-                        // yet released).  Donate the CPU so its store lands
-                        // instead of respinning the activation hot; under
-                        // the model checker this yield is also what lets the
-                        // fair scheduler run the producer (found as a
-                        // starvation livelock by tests/model_doorbell.rs).
-                        wsm_check::thread::yield_now();
-                    }
-                    more
-                },
-            );
-            if runs > 0 {
-                // Ring once more *after releasing* the activation: anyone
-                // whose activation attempt we beat re-checks against a
-                // released interface, which closes the hand-off race.
-                self.doorbell.ring();
-            }
+            self.drive();
             if let Some(r) = slot.try_take() {
                 return r;
             }
@@ -283,23 +301,154 @@ where
             // shorter than a futex sleep/wake round trip, so most results
             // arrive within a few yields.  The yield also donates the CPU to
             // the combiner on oversubscribed machines.
-            let mut delivered = false;
-            for _ in 0..self.spin_wait {
-                std::thread::yield_now();
-                if let Some(r) = slot.try_take() {
-                    return r;
+            match self.handoff {
+                Handoff::Cell => {
+                    // Slot-free hand-off: never park.  Spin on our own
+                    // sequence-stamped cell, then loop back to re-attempt
+                    // the activation (if our op is still buffered, we will
+                    // eventually win the election and combine it ourselves).
+                    for _ in 0..self.spin_wait.max(1) {
+                        std::thread::yield_now();
+                        if let Some(r) = slot.try_take() {
+                            return r;
+                        }
+                    }
                 }
-                if self.doorbell.current() != seen {
-                    // A hand-off happened; re-attempt the activation rather
-                    // than parking on a generation that already passed.
-                    delivered = true;
-                    break;
+                Handoff::Doorbell => {
+                    let mut delivered = false;
+                    for _ in 0..self.spin_wait {
+                        std::thread::yield_now();
+                        if let Some(r) = slot.try_take() {
+                            return r;
+                        }
+                        if self.doorbell.current() != seen {
+                            // A hand-off happened; re-attempt the activation
+                            // rather than parking on a generation that
+                            // already passed.
+                            delivered = true;
+                            break;
+                        }
+                    }
+                    if !delivered {
+                        // Park until the next hand-off, then re-check /
+                        // re-attempt.
+                        self.doorbell.wait_past(seen);
+                    }
                 }
             }
-            if !delivered {
-                // Park until the next hand-off, then re-check / re-attempt.
-                self.doorbell.wait_past(seen);
+        }
+    }
+
+    /// Deposits a whole sub-batch of operations (sharing one buffer shard)
+    /// and drives combining until every result is available, returning them
+    /// in operation order.  This is the batch entry point the `wsm-shard`
+    /// router uses: one publication-ring pass and one waiting loop for the
+    /// entire sub-batch instead of a blocking round trip per operation.
+    ///
+    /// The deposited operations need not execute in a single combine — a
+    /// concurrent combiner may drain a prefix of the publication while the
+    /// rest is still in flight — so the waiting loop harvests cells
+    /// incrementally until all have been filled.  Deadlock-freedom follows
+    /// from the same pairing argument as [`ConcurrentMap::call`].
+    pub fn call_batch(&self, shard: usize, ops: Vec<Operation<K, V>>) -> Vec<OpResult<V>> {
+        let n = ops.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let cells: Vec<Arc<ResultCell<OpResult<V>>>> =
+            (0..n).map(|_| Arc::new(ResultCell::new())).collect();
+        let items: Vec<Pending<K, V>> = ops
+            .into_iter()
+            .zip(&cells)
+            .map(|(op, cell)| Pending {
+                op,
+                slot: Arc::clone(cell),
+            })
+            .collect();
+        self.buffer.push_batch(shard, items);
+        let mut results: Vec<Option<OpResult<V>>> = (0..n).map(|_| None).collect();
+        let mut remaining = n;
+        let harvest = |results: &mut Vec<Option<OpResult<V>>>, remaining: &mut usize| {
+            for (cell, out) in cells.iter().zip(results.iter_mut()) {
+                if out.is_none() {
+                    if let Some(r) = cell.try_take() {
+                        *out = Some(r);
+                        *remaining -= 1;
+                    }
+                }
             }
+            *remaining == 0
+        };
+        loop {
+            let seen = self.doorbell.current();
+            self.drive();
+            if harvest(&mut results, &mut remaining) {
+                break;
+            }
+            match self.handoff {
+                Handoff::Cell => {
+                    for _ in 0..self.spin_wait.max(1) {
+                        std::thread::yield_now();
+                        if harvest(&mut results, &mut remaining) {
+                            return finish(results);
+                        }
+                    }
+                }
+                Handoff::Doorbell => {
+                    let mut delivered = false;
+                    for _ in 0..self.spin_wait {
+                        std::thread::yield_now();
+                        if harvest(&mut results, &mut remaining) {
+                            return finish(results);
+                        }
+                        if self.doorbell.current() != seen {
+                            delivered = true;
+                            break;
+                        }
+                    }
+                    if !delivered {
+                        self.doorbell.wait_past(seen);
+                    }
+                }
+            }
+        }
+        finish(results)
+    }
+
+    /// One pass of the combiner election: attempt the activation (combining
+    /// everything buffered while we hold it) and ring the doorbell after
+    /// releasing it.
+    fn drive(&self) {
+        // Try to become the combiner; whoever wins processes everything
+        // currently buffered (and re-runs while more arrives).  The
+        // readiness condition is `true` so that *holding* the activation
+        // always implies at least one run — and therefore a ring below —
+        // even if the buffer momentarily looks empty.
+        let runs = self.buffer.activate(
+            || true,
+            || {
+                let drained = self.combine();
+                let more = !self.buffer.is_empty();
+                if more && drained == 0 {
+                    // The buffer claims an item the flush could not see:
+                    // a producer is mid-publish (counted, seq stamp not
+                    // yet released).  Donate the CPU so its store lands
+                    // instead of respinning the activation hot; under
+                    // the model checker this yield is also what lets the
+                    // fair scheduler run the producer (found as a
+                    // starvation livelock by tests/model_doorbell.rs).
+                    wsm_check::thread::yield_now();
+                }
+                more
+            },
+        );
+        if runs > 0 {
+            // Ring once more *after releasing* the activation: anyone
+            // whose activation attempt we beat re-checks against a
+            // released interface, which closes the hand-off race.  In cell
+            // mode nobody parks, so the ring is a cheap uncontended bump
+            // that keeps mixed-mode callers (and `len` observers) correct.
+            self.doorbell.ring();
         }
     }
 
@@ -351,6 +500,14 @@ where
         slots.clear();
         drained
     }
+}
+
+/// Unwraps a fully harvested result vector (every cell was taken).
+fn finish<V>(results: Vec<Option<OpResult<V>>>) -> Vec<OpResult<V>> {
+    results
+        .into_iter()
+        .map(|r| r.expect("call_batch returned with an unharvested cell"))
+        .collect()
 }
 
 fn kind<V>(r: &OpResult<V>) -> &'static str {
@@ -492,6 +649,108 @@ mod tests {
         }
         let expected_per_thread = per - per.div_ceil(3);
         assert_eq!(map.len(), (threads * expected_per_thread) as usize);
+    }
+
+    #[test]
+    fn call_batch_returns_results_in_operation_order() {
+        let map = ConcurrentMap::new(M1::<u64, u64>::new(4), 4);
+        assert!(map.call_batch(0, Vec::new()).is_empty());
+        let ops: Vec<Operation<u64, u64>> = (0..100)
+            .map(|k| Operation::Insert(k, k * 2))
+            .chain((0..100).map(Operation::Search))
+            .chain([Operation::Delete(7), Operation::Search(7)])
+            .collect();
+        let results = map.call_batch(0, ops);
+        assert_eq!(results.len(), 202);
+        for k in 0..100u64 {
+            assert_eq!(results[k as usize], OpResult::Insert(None));
+            assert_eq!(results[100 + k as usize], OpResult::Search(Some(k * 2)));
+        }
+        assert_eq!(results[200], OpResult::Delete(Some(14)));
+        assert_eq!(results[201], OpResult::Search(None));
+        assert_eq!(map.len(), 99);
+    }
+
+    #[test]
+    fn call_batch_under_contention_from_many_threads() {
+        for handoff in [Handoff::Doorbell, Handoff::Cell] {
+            let map = Arc::new(ConcurrentMap::new(M1::<u64, u64>::new(8), 8).with_handoff(handoff));
+            let threads = 6u64;
+            let per = 400u64;
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let map = Arc::clone(&map);
+                    std::thread::spawn(move || {
+                        let base = t * 1_000_000;
+                        for chunk in 0..4 {
+                            let ops: Vec<Operation<u64, u64>> = (0..per / 4)
+                                .map(|i| {
+                                    let k = base + chunk * (per / 4) + i;
+                                    Operation::Insert(k, k + 1)
+                                })
+                                .collect();
+                            let keys: Vec<u64> = ops.iter().map(|o| *o.key()).collect();
+                            for r in map.call_batch(t as usize, ops) {
+                                assert_eq!(r, OpResult::Insert(None));
+                            }
+                            let results = map.call_batch(
+                                t as usize,
+                                keys.iter().copied().map(Operation::Search).collect(),
+                            );
+                            for (k, r) in keys.iter().zip(results) {
+                                assert_eq!(r, OpResult::Search(Some(k + 1)));
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(map.len(), (threads * per) as usize);
+        }
+    }
+
+    #[test]
+    fn cell_handoff_point_ops_under_contention() {
+        let map =
+            Arc::new(ConcurrentMap::new(M1::<u64, u64>::new(8), 8).with_handoff(Handoff::Cell));
+        assert_eq!(map.handoff(), Handoff::Cell);
+        let threads = 8u64;
+        let per = 500u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let map = Arc::clone(&map);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        let key = t * per + i;
+                        assert_eq!(map.insert(t as usize, key, key + 1), None);
+                        assert_eq!(map.search(t as usize, key), Some(key + 1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(map.len(), (threads * per) as usize);
+    }
+
+    #[test]
+    fn maintenance_runs_visible_through_front_end() {
+        let map = ConcurrentMap::new(M2::<u64, u64>::new(4), 4);
+        for k in 0..4_000u64 {
+            map.insert(0, k, k);
+        }
+        // Deletions punch holes into the cascade, which the dedicated
+        // maintenance runs refill.  M1 has no cascade.
+        for k in 0..2_000u64 {
+            map.delete(0, k * 2);
+        }
+        assert!(map.maintenance_runs() > 0);
+        let m1 = ConcurrentMap::new(M1::<u64, u64>::new(4), 4);
+        m1.insert(0, 1, 1);
+        assert_eq!(m1.maintenance_runs(), 0);
     }
 
     #[test]

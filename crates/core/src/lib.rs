@@ -35,13 +35,15 @@ pub mod buffer;
 pub mod concurrent;
 pub mod doorbell;
 pub mod feed;
+pub mod handoff;
 pub mod m1;
 pub mod m2;
 pub mod ops;
 
 pub use buffer::ParallelBuffer;
-pub use concurrent::{ConcurrentMap, DEFAULT_INLINE_BATCH};
+pub use concurrent::{ConcurrentMap, Handoff, DEFAULT_INLINE_BATCH};
 pub use feed::{Bunch, FeedBuffer};
+pub use handoff::ResultCell;
 pub use m1::M1;
 pub use m2::M2;
 pub use ops::{BatchedMap, GroupOp, OpId, OpResult, Operation, TaggedOp};

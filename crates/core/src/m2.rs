@@ -989,6 +989,10 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> BatchedMap<K, V> 
     fn effective_span(&self) -> u64 {
         self.meter.span()
     }
+
+    fn maintenance_runs(&self) -> u64 {
+        M2::maintenance_runs(self)
+    }
 }
 
 #[cfg(test)]

@@ -149,6 +149,15 @@ pub trait BatchedMap<K, V> {
 
     /// Total effective span charged since construction.
     fn effective_span(&self) -> u64;
+
+    /// Number of background maintenance runs executed since construction.
+    /// Defaults to 0: only maps with a dedicated maintenance cascade (M2's
+    /// token-free hole-refill runs) override this.  Exposed on the trait so
+    /// generic front-ends (`ConcurrentMap`, the `wsm-shard` router's
+    /// per-shard stats) can report it without knowing the concrete map.
+    fn maintenance_runs(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

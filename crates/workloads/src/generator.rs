@@ -41,6 +41,18 @@ pub enum Pattern {
     /// Adversarial for working-set structures: always access the least
     /// recently used key, so every access has rank `n`.
     Adversarial,
+    /// Multi-tenant skew: `tenants` interleaved Zipfian streams, each over
+    /// its own contiguous block of the keyspace (tenant `t` owns block
+    /// `[t·n/tenants, (t+1)·n/tenants)`), issuing accesses round-robin.
+    /// Every tenant has a private hot set, so the merged stream has high
+    /// aggregate skew but no *shared* hot keys — the workload a sharded
+    /// front-end splits cleanly while a single combiner serialises it.
+    MultiTenant {
+        /// Number of interleaved tenant streams (at least 1).
+        tenants: usize,
+        /// Zipf exponent of each tenant's stream over its own block.
+        s: f64,
+    },
 }
 
 /// A complete workload description: a keyspace that is pre-inserted and then a
@@ -88,9 +100,25 @@ impl WorkloadSpec {
             Pattern::Zipf(s) => Some(ZipfSampler::new(n, s)),
             _ => None,
         };
+        // Per-tenant samplers: tenant `t` owns the contiguous key block
+        // `[t·n/T, (t+1)·n/T)` (integer division spreads any remainder).
+        let tenant_blocks: Vec<(u64, ZipfSampler)> = match self.pattern {
+            Pattern::MultiTenant { tenants, s } => {
+                let t = tenants.max(1) as u64;
+                (0..t)
+                    .map(|i| {
+                        let start = i * n / t;
+                        let end = (i + 1) * n / t;
+                        (start, ZipfSampler::new((end - start).max(1), s))
+                    })
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
         let mut recent: Vec<u64> = Vec::new();
         let mut lru: std::collections::VecDeque<u64> = (0..n).collect();
         let mut scan_next = 0u64;
+        let mut next_tenant = 0usize;
 
         for _ in 0..self.operations {
             let key = match self.pattern {
@@ -121,6 +149,11 @@ impl WorkloadSpec {
                     let k = lru.pop_front().unwrap_or(0);
                     lru.push_back(k);
                     k
+                }
+                Pattern::MultiTenant { .. } => {
+                    let (start, sampler) = &tenant_blocks[next_tenant];
+                    next_tenant = (next_tenant + 1) % tenant_blocks.len();
+                    (start + sampler.sample(&mut rng)).min(n - 1)
                 }
             };
             if matches!(self.pattern, Pattern::WorkingSet { .. }) {
@@ -223,10 +256,48 @@ mod tests {
             },
             Pattern::SequentialScan,
             Pattern::Adversarial,
+            Pattern::MultiTenant { tenants: 4, s: 1.1 },
         ] {
             let ops = spec(pattern).access_phase();
             assert!(ops.iter().all(|op| *op.key() < (1 << 12)), "{pattern:?}");
         }
+    }
+
+    #[test]
+    fn multi_tenant_interleaves_private_blocks() {
+        let tenants = 4usize;
+        let n = 1u64 << 12;
+        let block = n / tenants as u64;
+        let ops = spec(Pattern::MultiTenant { tenants, s: 1.1 }).access_phase();
+        // Round-robin: op i belongs to tenant i % tenants and must stay in
+        // that tenant's contiguous key block.
+        for (i, op) in ops.iter().enumerate() {
+            let t = (i % tenants) as u64;
+            let key = *op.key();
+            assert!(
+                (t * block..(t + 1) * block).contains(&key),
+                "op {i}: key {key} outside tenant {t}'s block"
+            );
+        }
+        // Each tenant's stream is skewed: its block head is its hot key.
+        let head_hits = ops
+            .iter()
+            .enumerate()
+            .filter(|(i, op)| *op.key() == ((*i % tenants) as u64) * block)
+            .count();
+        assert!(
+            head_hits * 8 > ops.len() / tenants,
+            "tenant hot keys underrepresented: {head_hits}/{}",
+            ops.len()
+        );
+    }
+
+    #[test]
+    fn multi_tenant_locality_beats_uniform() {
+        let mt =
+            working_set_bound(&spec(Pattern::MultiTenant { tenants: 4, s: 1.2 }).full_sequence());
+        let uniform = working_set_bound(&spec(Pattern::Uniform).full_sequence());
+        assert!(mt < uniform, "mt={mt} uniform={uniform}");
     }
 
     #[test]

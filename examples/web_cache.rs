@@ -9,6 +9,13 @@
 //! spin `WSM_SPIN_WAIT` yields before parking.  Experiment E16
 //! (`harness e16`) tracks this workload's map-vs-AVL gap as a regression.
 //!
+//! With `WSM_SHARDS=n` (n > 1) the cache is served by a
+//! [`wsm_shard::ShardedMap`] instead: the keyspace is hash-partitioned
+//! across `n` independent working-set maps, each with its own combiner, so
+//! request-serving threads no longer all contend on a single election.  The
+//! per-shard request/work split is reported at the end.  Experiment E19
+//! (`harness e19`) measures the same unsharded-vs-sharded gap.
+//!
 //! This is the motivating scenario for working-set structures: most requests
 //! hit a small set of hot pages, so a distribution-sensitive map does `O(log
 //! r)` work per request instead of `O(log n)`.  The example compares the
@@ -16,9 +23,10 @@
 //! same request stream and reports wall-clock time and effective work.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use wsm_core::{BatchedMap, ConcurrentMap, Operation, M1};
 use wsm_seq::{AvlMap, InstrumentedMap};
+use wsm_shard::ShardedMap;
 use wsm_workloads::{Pattern, WorkloadSpec};
 
 const PAGES: u64 = 1 << 14;
@@ -33,6 +41,15 @@ fn workers() -> usize {
         .unwrap_or(4)
 }
 
+/// Keyspace shards: `WSM_SHARDS` or 1 (single combiner, the default).
+fn shards() -> usize {
+    std::env::var("WSM_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
 fn request_stream(worker: u64) -> Vec<u64> {
     WorkloadSpec::read_only(PAGES, REQUESTS_PER_WORKER, Pattern::Zipf(1.1), worker)
         .access_phase()
@@ -41,9 +58,8 @@ fn request_stream(worker: u64) -> Vec<u64> {
         .collect()
 }
 
-fn main() {
-    let workers = workers();
-    // --- implicitly batched working-set map ---------------------------------
+/// Serves the request streams from one `ConcurrentMap` (single combiner).
+fn serve_single(workers: usize) -> (Duration, u64, u64) {
     let mut inner = M1::<u64, u64>::new(workers.max(2));
     inner.run_ops((0..PAGES).map(|p| Operation::Insert(p, p)).collect());
     let warm_work = inner.effective_work();
@@ -69,9 +85,70 @@ fn main() {
         })
         .collect();
     let hits: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
-    let wsm_elapsed = start.elapsed();
+    (start.elapsed(), cache.effective_work() - warm_work, hits)
+}
+
+/// Serves the same streams from a hash-partitioned `ShardedMap`: every shard
+/// is its own working-set map with its own combiner, so hot-page traffic on
+/// different shards never contends on one election.
+fn serve_sharded(shards: usize, workers: usize) -> (Duration, u64, u64) {
+    let cache = Arc::new(ShardedMap::with_shards(shards, |_| {
+        M1::<u64, u64>::new(workers.max(2))
+    }));
+    for block in (0..PAGES).collect::<Vec<_>>().chunks(1024) {
+        cache.insert_batch(block.iter().map(|&p| (p, p)).collect());
+    }
+    let warm: Vec<_> = cache.shard_stats();
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let mut hits = 0u64;
+                for page in request_stream(w as u64) {
+                    if cache.get(page).is_some() {
+                        hits += 1;
+                    }
+                    if page % 97 == 0 {
+                        cache.insert(page, page + 1);
+                    }
+                }
+                hits
+            })
+        })
+        .collect();
+    let hits: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let elapsed = start.elapsed();
+
+    let stats = cache.shard_stats();
+    for (s, w0) in stats.iter().zip(&warm) {
+        println!(
+            "  shard {}: {} pages, {} effective work",
+            s.shard,
+            s.len,
+            s.effective_work - w0.effective_work
+        );
+    }
+    let work: u64 = stats
+        .iter()
+        .zip(&warm)
+        .map(|(s, w0)| s.effective_work - w0.effective_work)
+        .sum();
+    (elapsed, work, hits)
+}
+
+fn main() {
+    let workers = workers();
+    let shards = shards();
+    // --- implicitly batched working-set map ---------------------------------
+    let (wsm_elapsed, wsm_work, hits) = if shards > 1 {
+        println!("serving from {shards} hash-partitioned shards (WSM_SHARDS={shards})");
+        serve_sharded(shards, workers)
+    } else {
+        serve_single(workers)
+    };
     let total_requests = (workers * REQUESTS_PER_WORKER) as u64;
-    let wsm_work = cache.effective_work() - warm_work;
 
     println!("working-set cache: {total_requests} requests, {hits} hits");
     println!(

@@ -14,12 +14,23 @@
 //! Both combiner regimes are exercised per history: the small-batch inline
 //! fast path (threshold `usize::MAX`) and the pooled path (threshold `0`,
 //! every batch shipped to the work-stealing pool).
+//!
+//! The sharded front-end (`wsm_shard::ShardedMap`) is checked *per shard*:
+//! the partitioner is a pure function of the key, so every operation on a key
+//! flows through exactly one shard, and the front-end's guarantee is that
+//! each shard's slice of the history is linearizable.  Each random
+//! multi-threaded history is projected onto every shard's key set (keeping
+//! per-thread order and the recorded witness intervals) and each projection
+//! is checked with the same Wing–Gong search — under both waiter hand-off
+//! modes ([`wsm_core::Handoff`]), and through both the single-op and the
+//! batched (`run_batch`) surface.
 
 use proptest::prelude::*;
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use wsm_core::{BatchedMap, ConcurrentMap, M1, M2};
+use wsm_core::{BatchedMap, ConcurrentMap, Handoff, M1, M2};
+use wsm_shard::{Partitioner, ShardedMap};
 use wsm_sync::MpscShard;
 
 /// One operation of a generated history.
@@ -98,6 +109,143 @@ where
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     })
+}
+
+/// The key an operation touches.
+fn key_of(op: Op) -> u64 {
+    match op {
+        Op::Search(k) | Op::Insert(k, _) | Op::Delete(k) => k,
+    }
+}
+
+/// Runs every thread's ops against a sharded map through its single-op API,
+/// recording witness tickets.
+fn execute_sharded<M, P>(map: &ShardedMap<u64, u64, M, P>, per_thread: &[Vec<Op>]) -> Vec<Vec<Done>>
+where
+    M: BatchedMap<u64, u64> + Send,
+    P: Partitioner<u64>,
+{
+    let clock = AtomicU64::new(0);
+    let clock = &clock;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = per_thread
+            .iter()
+            .map(|ops| {
+                s.spawn(move || {
+                    ops.iter()
+                        .map(|&op| {
+                            let invoke = clock.fetch_add(1, Ordering::SeqCst);
+                            let result = match op {
+                                Op::Search(k) => map.get(k),
+                                Op::Insert(k, v) => map.insert(k, v),
+                                Op::Delete(k) => map.remove(k),
+                            };
+                            let ret = clock.fetch_add(1, Ordering::SeqCst);
+                            Done {
+                                op,
+                                result,
+                                invoke,
+                                ret,
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Like [`execute_sharded`], but each thread submits its ops in
+/// `chunk`-sized batches through `run_batch`.  All ops of a batch share the
+/// batch's invoke/return interval — which is exactly their real interval:
+/// the caller invoked them together and observed all results together.
+/// Per-thread Done order stays program order; within a batch that is sound
+/// because the shard applies same-key ops in sub-batch order and distinct
+/// keys commute in the oracle.
+fn execute_sharded_batched<M, P>(
+    map: &ShardedMap<u64, u64, M, P>,
+    per_thread: &[Vec<Op>],
+    chunk: usize,
+) -> Vec<Vec<Done>>
+where
+    M: BatchedMap<u64, u64> + Send,
+    P: Partitioner<u64>,
+{
+    let clock = AtomicU64::new(0);
+    let clock = &clock;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = per_thread
+            .iter()
+            .map(|ops| {
+                s.spawn(move || {
+                    let mut dones = Vec::with_capacity(ops.len());
+                    for batch in ops.chunks(chunk.max(1)) {
+                        let invoke = clock.fetch_add(1, Ordering::SeqCst);
+                        let results = map.run_batch(
+                            batch
+                                .iter()
+                                .map(|&op| match op {
+                                    Op::Search(k) => wsm_core::Operation::Search(k),
+                                    Op::Insert(k, v) => wsm_core::Operation::Insert(k, v),
+                                    Op::Delete(k) => wsm_core::Operation::Delete(k),
+                                })
+                                .collect(),
+                        );
+                        let ret = clock.fetch_add(1, Ordering::SeqCst);
+                        for (&op, result) in batch.iter().zip(results) {
+                            dones.push(Done {
+                                op,
+                                result: result.value().copied(),
+                                invoke,
+                                ret,
+                            });
+                        }
+                    }
+                    dones
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Projects per-thread histories onto one shard's key set: per-thread order
+/// and witness intervals are preserved, ops owned by other shards drop out.
+fn project_onto<F: Fn(u64) -> bool>(histories: &[Vec<Done>], owns: F) -> Vec<Vec<Done>> {
+    histories
+        .iter()
+        .map(|h| h.iter().filter(|d| owns(key_of(d.op))).cloned().collect())
+        .collect()
+}
+
+/// Executes a history against `ShardedMap` (both hand-off modes, single-op
+/// and batched surfaces) and asserts each shard's projected history
+/// linearizes.
+fn check_sharded(per_thread: &[Vec<Op>], shards: usize) {
+    for handoff in [Handoff::Doorbell, Handoff::Cell] {
+        let map = ShardedMap::with_shards(shards, |_| M1::<u64, u64>::new(4)).with_handoff(handoff);
+        let histories = execute_sharded(&map, per_thread);
+        for shard in 0..map.shards() {
+            let projected = project_onto(&histories, |k| map.shard_of(&k) == shard);
+            assert!(
+                linearizable(&projected),
+                "shard {shard}/{shards} not linearizable ({handoff:?}, point ops): \
+                 {projected:#?}"
+            );
+        }
+
+        let map = ShardedMap::with_shards(shards, |_| M1::<u64, u64>::new(4)).with_handoff(handoff);
+        let histories = execute_sharded_batched(&map, per_thread, 3);
+        for shard in 0..map.shards() {
+            let projected = project_onto(&histories, |k| map.shard_of(&k) == shard);
+            assert!(
+                linearizable(&projected),
+                "shard {shard}/{shards} not linearizable ({handoff:?}, batched): \
+                 {projected:#?}"
+            );
+        }
+    }
 }
 
 /// Applies `op` to the oracle; returns whether the recorded result matches.
@@ -347,6 +495,36 @@ proptest! {
         check_preloaded_m2(&per_thread, &preload);
     }
 
+    /// Random histories on the sharded front-end: every shard's projected
+    /// history must linearize, under both hand-off modes and through both
+    /// the single-op and the batched surface.
+    #[test]
+    fn sharded_histories_linearize_per_shard(
+        raw in prop::collection::vec(
+            prop::collection::vec((0u8..3, 0u8..5), 1..7),
+            1..5,
+        ),
+        shards in 2usize..5,
+    ) {
+        let per_thread = decode_history(&raw);
+        check_sharded(&per_thread, shards);
+    }
+
+    /// The degenerate S=1 sharded map is exactly one `ConcurrentMap` behind
+    /// the router: the whole (unprojected) history must linearize.
+    #[test]
+    fn single_shard_router_histories_linearize(
+        raw in prop::collection::vec(
+            prop::collection::vec((0u8..3, 0u8..3), 1..6),
+            1..4,
+        )
+    ) {
+        let per_thread = decode_history(&raw);
+        let map = ShardedMap::with_shards(1, |_| M1::<u64, u64>::new(4));
+        let histories = execute_sharded_batched(&map, &per_thread, 2);
+        prop_assert!(linearizable(&histories), "S=1 router: {histories:#?}");
+    }
+
     /// MPSC shard stress: pool-scheduled producers with seeded yield
     /// schedules race an OS-thread combiner; nothing may be lost or
     /// duplicated.
@@ -451,6 +629,32 @@ fn checker_rejects_impossible_histories() {
         }],
     ];
     assert!(linearizable(&h));
+}
+
+/// A projected single-threaded sharded history must match the oracle exactly
+/// on every shard (the degenerate 1-worker case of the sharded suite).
+#[test]
+fn single_threaded_sharded_history_matches_oracle() {
+    let ops = vec![vec![
+        Op::Insert(1, 10),
+        Op::Insert(2, 20),
+        Op::Search(1),
+        Op::Delete(2),
+        Op::Insert(1, 11),
+        Op::Search(2),
+        Op::Delete(1),
+    ]];
+    let map = ShardedMap::with_shards(3, |_| M1::<u64, u64>::new(4));
+    let histories = execute_sharded(&map, &ops);
+    let results: Vec<Option<u64>> = histories[0].iter().map(|d| d.result).collect();
+    assert_eq!(
+        results,
+        vec![None, None, Some(10), Some(20), Some(10), None, Some(11)]
+    );
+    for shard in 0..map.shards() {
+        let projected = project_onto(&histories, |k| map.shard_of(&k) == shard);
+        assert!(linearizable(&projected), "shard {shard}");
+    }
 }
 
 /// Deterministic single-threaded histories must match the oracle exactly
