@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! harness [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15|e16|e17|e18|e19|all] [--small] [--threads N]
+//! harness [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15|e16|e17|e18|e19|e20|all] [--small] [--threads N]
 //! ```
 //! With no experiment argument, all experiments run at their default
 //! (paper-shaped) sizes; `--small` shrinks them for a quick smoke run.
@@ -84,9 +84,9 @@ fn emit(ids: &[&str], title: &str, rows: &[bench::Row], threads: Option<usize>, 
 }
 
 /// Every experiment id an artifact is expected for (aliases included).
-const ALL_IDS: [&str; 19] = [
+const ALL_IDS: [&str; 20] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19",
+    "e16", "e17", "e18", "e19", "e20",
 ];
 
 /// Warns about experiment ids with no committed artifact for the active
@@ -329,6 +329,24 @@ fn main() {
             small,
         );
     }
+    if run("e20") {
+        // E20 spawns its own OS threads and owns its WAL temp dirs, so it
+        // runs outside the `in_pool` wrapper.
+        let t = threads.unwrap_or(4).max(1);
+        let rows = bench::experiment_wal_overhead(
+            sizes.keyspace,
+            sizes.operations.min(1 << 14),
+            t,
+            sizes.scale_reps,
+        );
+        emit(
+            &["e20"],
+            "E20: WAL overhead per batch (sync=off|batch|always vs no-WAL baseline, bytes/batch, reopen/replay)",
+            &rows,
+            threads,
+            small,
+        );
+    }
     if run("e15") {
         // E15 manages its own pools (one per swept worker count), so it runs
         // outside the `in_pool` wrapper.
@@ -404,7 +422,7 @@ fn parse_positive(flag: &str, value: &str) -> usize {
 fn usage_error(msg: &str) -> ! {
     eprintln!("harness: {msg}");
     eprintln!(
-        "usage: harness [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15|e16|e17|e18|e19|all] [--small] [--threads N]"
+        "usage: harness [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15|e16|e17|e18|e19|e20|all] [--small] [--threads N]"
     );
     std::process::exit(2);
 }

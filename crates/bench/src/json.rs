@@ -42,6 +42,16 @@ pub fn number(v: f64) -> String {
     }
 }
 
+/// The warning emitted when a non-finite measurement is about to be written
+/// as `null`.  A NaN in a bench artifact almost always means a bug upstream
+/// (zero iterations, a 0/0 rate) — writing `null` silently would let a
+/// regression-tracking diff read it as "no data" instead of "broken run".
+fn non_finite_warning(experiment: &str, row: &str, key: &str, v: f64) -> String {
+    format!(
+        "wsm-bench: non-finite value {v} for experiment \"{experiment}\" row \"{row}\" key \"{key}\"; writing null"
+    )
+}
+
 /// Renders one experiment's rows as a self-describing JSON document:
 ///
 /// ```json
@@ -73,6 +83,12 @@ pub fn rows_to_json(experiment: &str, meta: &[(&str, String)], rows: &[Row]) -> 
         for (j, (key, value)) in row.values.iter().enumerate() {
             if j > 0 {
                 out.push_str(", ");
+            }
+            if !value.is_finite() {
+                eprintln!(
+                    "{}",
+                    non_finite_warning(experiment, &row.label, key, *value)
+                );
             }
             let _ = write!(out, "\"{}\": {}", escape(key), number(*value));
         }
@@ -133,6 +149,20 @@ mod tests {
         assert_eq!(number(1.5), "1.5");
         assert_eq!(number(f64::NAN), "null");
         assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn non_finite_values_warn_with_full_context_and_render_null() {
+        let warning = non_finite_warning("e20", "wal sync=always", "ns/op", f64::NAN);
+        assert!(warning.contains("\"e20\""), "{warning}");
+        assert!(warning.contains("\"wal sync=always\""), "{warning}");
+        assert!(warning.contains("\"ns/op\""), "{warning}");
+        assert!(warning.contains("NaN"), "{warning}");
+        // The artifact itself still gets valid JSON: null, never NaN.
+        let rows = vec![Row::new("wal sync=always", vec![("ns/op", f64::NAN)])];
+        let json = rows_to_json("e20", &[], &rows);
+        assert!(json.contains("\"ns/op\": null"), "{json}");
+        assert!(!json.contains("NaN"), "{json}");
     }
 
     #[test]

@@ -1309,6 +1309,177 @@ pub fn experiment_sharded(
     rows
 }
 
+/// E20 — durability overhead: per-operation cost of write-ahead logging
+/// every committed batch, swept across the three `WSM_WAL_SYNC` policies and
+/// measured against a WAL-free [`ConcurrentMap`](wsm_core::ConcurrentMap)
+/// baseline, plus the recovery costs (reopen + full-log replay, and reopen
+/// from a checkpoint).
+///
+/// `t` OS threads each insert their own keyspace slice in 64-operation
+/// batches — inserts, because only mutations hit the log; search-only
+/// batches append nothing by construction.
+///
+/// Columns per policy row:
+///
+/// * `mean ns/op` — wall-clock per operation over the insert phase;
+/// * `wal overhead x` — ratio against the WAL-free baseline (1.0 = free);
+/// * `bytes/batch` — framed bytes appended per logged batch (encoding
+///   density: headers + seq + op tags + keys/values);
+/// * `batches logged` — how many combiner batches actually reached the log
+///   (combining under contention means fewer, larger batches).
+///
+/// The two `reopen` rows time [`DurableMap::open_with`](wsm_wal::DurableMap)
+/// against the artifacts the `sync=batch` run left behind: once replaying the
+/// whole log, once after a checkpoint truncated it.  Persisted to
+/// `BENCH_e20.json`.
+pub fn experiment_wal_overhead(
+    keyspace: u64,
+    operations: usize,
+    threads: usize,
+    reps: usize,
+) -> Vec<Row> {
+    use std::sync::Arc;
+    use std::time::Instant;
+    use wsm_core::ConcurrentMap;
+    use wsm_wal::{DurableMap, DurableOptions, SyncPolicy};
+
+    const CHUNK: usize = 64;
+    let t = threads.max(1);
+    let reps = reps.max(1);
+    let per_thread = (operations / t).max(1);
+    let total_ops = (t * per_thread) as f64;
+    let streams: Vec<Vec<u64>> = (0..t as u64)
+        .map(|w| {
+            (0..per_thread as u64)
+                .map(|i| (w * per_thread as u64 + i) % keyspace)
+                .collect()
+        })
+        .collect();
+
+    let dir_base = std::env::temp_dir().join(format!("wsm-e20-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir_base);
+    let mut rows = Vec::new();
+
+    // --- WAL-free baseline: the same front-end, no commit hook ------------
+    let mut base_ns = 0.0;
+    for _ in 0..reps {
+        let map = Arc::new(ConcurrentMap::new(M1::<u64, u64>::new(t.max(2)), t));
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for (w, stream) in streams.iter().enumerate() {
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    for chunk in stream.chunks(CHUNK) {
+                        map.call_batch(w, chunk.iter().map(|&k| Operation::Insert(k, k)).collect());
+                    }
+                });
+            }
+        });
+        base_ns += start.elapsed().as_nanos() as f64;
+    }
+    let base_ns_op = base_ns / (reps as f64 * total_ops);
+    rows.push(Row::new(
+        format!("m1 no wal t={t}"),
+        vec![
+            ("mean ns/op", base_ns_op),
+            ("wal overhead x", 1.0),
+            ("bytes/batch", 0.0),
+            ("batches logged", 0.0),
+        ],
+    ));
+
+    // --- the three sync policies ------------------------------------------
+    for (label, sync) in [
+        ("off", SyncPolicy::Off),
+        ("batch", SyncPolicy::Batch),
+        ("always", SyncPolicy::Always),
+    ] {
+        let mut total_ns = 0.0;
+        let mut bytes_per_batch = 0.0;
+        let mut batches = 0.0;
+        for rep in 0..reps {
+            let dir = dir_base.join(format!("{label}-{rep}"));
+            let opts = DurableOptions {
+                sync,
+                checkpoint_every: u64::MAX,
+            };
+            let map = Arc::new(
+                DurableMap::open_with(&dir, opts, || M1::<u64, u64>::new(t.max(2)))
+                    .expect("open E20 WAL dir"),
+            );
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for stream in &streams {
+                    let map = Arc::clone(&map);
+                    s.spawn(move || {
+                        for chunk in stream.chunks(CHUNK) {
+                            map.call_batch(
+                                chunk.iter().map(|&k| Operation::Insert(k, k)).collect(),
+                            );
+                        }
+                    });
+                }
+            });
+            map.flush().expect("flush E20 WAL");
+            total_ns += start.elapsed().as_nanos() as f64;
+            let stats = map.wal_stats();
+            batches = stats.batches_logged as f64;
+            bytes_per_batch = stats.bytes_appended as f64 / stats.batches_logged.max(1) as f64;
+        }
+        let ns_op = total_ns / (reps as f64 * total_ops);
+        rows.push(Row::new(
+            format!("m1 wal sync={label} t={t}"),
+            vec![
+                ("mean ns/op", ns_op),
+                ("wal overhead x", ns_op / base_ns_op),
+                ("bytes/batch", bytes_per_batch),
+                ("batches logged", batches),
+            ],
+        ));
+    }
+
+    // --- recovery cost against the sync=batch rep-0 artifacts -------------
+    let dir = dir_base.join("batch-0");
+    let opts = DurableOptions {
+        sync: SyncPolicy::Batch,
+        checkpoint_every: u64::MAX,
+    };
+    let start = Instant::now();
+    let map = DurableMap::open_with(&dir, opts, || M1::<u64, u64>::new(t.max(2)))
+        .expect("reopen E20 WAL dir");
+    let open_ms = start.elapsed().as_nanos() as f64 / 1e6;
+    let report = map.recovery();
+    rows.push(Row::new(
+        "reopen: replay full log",
+        vec![
+            ("open ms", open_ms),
+            ("replayed batches", report.replayed_batches as f64),
+            ("replayed ops", report.replayed_ops as f64),
+            ("checkpoint items", report.checkpoint_items as f64),
+        ],
+    ));
+    map.checkpoint().expect("E20 checkpoint");
+    drop(map);
+    let start = Instant::now();
+    let map = DurableMap::open_with(&dir, opts, || M1::<u64, u64>::new(t.max(2)))
+        .expect("reopen E20 checkpoint");
+    let open_ms = start.elapsed().as_nanos() as f64 / 1e6;
+    let report = map.recovery();
+    rows.push(Row::new(
+        "reopen: from checkpoint",
+        vec![
+            ("open ms", open_ms),
+            ("replayed batches", report.replayed_batches as f64),
+            ("replayed ops", report.replayed_ops as f64),
+            ("checkpoint items", report.checkpoint_items as f64),
+        ],
+    ));
+    drop(map);
+
+    let _ = std::fs::remove_dir_all(&dir_base);
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1505,6 +1676,31 @@ mod tests {
                 assert!(get("wall vs unsharded") > 0.0, "{}", row.label);
             }
         }
+    }
+
+    #[test]
+    fn wal_overhead_experiment_rows_are_well_formed() {
+        let rows = experiment_wal_overhead(1 << 9, 1 << 10, 2, 1);
+        // 1 baseline + 3 sync policies + 2 reopen rows.
+        assert_eq!(rows.len(), 6);
+        let get = |row: &Row, key: &str| row.values.iter().find(|(k, _)| k == key).unwrap().1;
+        for row in &rows[..4] {
+            assert!(
+                get(row, "mean ns/op") > 0.0 && get(row, "mean ns/op").is_finite(),
+                "non-positive timing in {}",
+                row.label
+            );
+            assert!(get(row, "wal overhead x") > 0.0, "{}", row.label);
+        }
+        for row in &rows[1..4] {
+            assert!(get(row, "batches logged") > 0.0, "{}", row.label);
+            assert!(get(row, "bytes/batch") > 0.0, "{}", row.label);
+        }
+        // The full-log reopen replays every mutation; the post-checkpoint
+        // reopen replays none.
+        assert_eq!(get(&rows[4], "replayed ops"), (1 << 10) as f64);
+        assert_eq!(get(&rows[5], "replayed ops"), 0.0);
+        assert!(get(&rows[5], "checkpoint items") > 0.0);
     }
 
     #[test]

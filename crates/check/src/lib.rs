@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod env;
 pub mod fixtures;
 pub mod lint;
 pub mod model;

@@ -84,12 +84,18 @@ pub enum Handoff {
 }
 
 /// The process-wide hand-off mode: `WSM_HANDOFF=cell` or (default)
-/// `doorbell`.
+/// `doorbell`.  Any other value warns once and keeps the default.
 fn handoff_from_env() -> Handoff {
-    match std::env::var("WSM_HANDOFF").as_deref() {
-        Ok("cell") => Handoff::Cell,
-        _ => Handoff::Doorbell,
-    }
+    crate::env::parse_with(
+        "WSM_HANDOFF",
+        "cell|doorbell",
+        Handoff::Doorbell,
+        |raw| match raw {
+            "cell" => Some(Handoff::Cell),
+            "doorbell" => Some(Handoff::Doorbell),
+            _ => None,
+        },
+    )
 }
 
 /// Default inline-batch threshold: batches of at most this many operations
@@ -107,21 +113,26 @@ pub const DEFAULT_INLINE_BATCH: usize = 64;
 pub const DEFAULT_SPIN_WAIT: u32 = 4;
 
 /// The process-wide spin count: `WSM_SPIN_WAIT` or [`DEFAULT_SPIN_WAIT`].
+/// Garbage values warn once and keep the default.
 fn spin_wait_from_env() -> u32 {
-    std::env::var("WSM_SPIN_WAIT")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_SPIN_WAIT)
+    crate::env::parse(
+        "WSM_SPIN_WAIT",
+        "a yield count (non-negative integer)",
+        DEFAULT_SPIN_WAIT,
+        |_| true,
+    )
 }
 
 /// The process-wide inline threshold: `WSM_INLINE_BATCH` if set to a valid
 /// number (0 disables the fast path entirely), otherwise
-/// [`DEFAULT_INLINE_BATCH`].
+/// [`DEFAULT_INLINE_BATCH`].  Garbage values warn once and keep the default.
 fn inline_threshold_from_env() -> usize {
-    std::env::var("WSM_INLINE_BATCH")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_INLINE_BATCH)
+    crate::env::parse(
+        "WSM_INLINE_BATCH",
+        "a batch size (non-negative integer; 0 disables the inline path)",
+        DEFAULT_INLINE_BATCH,
+        |_| true,
+    )
 }
 
 /// Reusable combiner-side buffers.  Only the thread holding the buffer's
@@ -131,6 +142,12 @@ struct CombineScratch<K, V> {
     pending: Vec<Pending<K, V>>,
     slots: Vec<Arc<ResultCell<OpResult<V>>>>,
 }
+
+/// A commit-point observer: called by the combiner with each batch, under
+/// the inner-map lock, immediately *before* the batch is applied (and
+/// therefore before any caller receives a result).  `wsm-wal` hooks its
+/// write-ahead log here.
+pub type CommitHook<K, V> = Box<dyn Fn(&[TaggedOp<K, V>]) + Send + Sync>;
 
 /// A concurrent map front-end that implicitly batches calls from many threads
 /// into an underlying [`BatchedMap`] (M1 or M2).
@@ -153,6 +170,8 @@ pub struct ConcurrentMap<K, V, M> {
     spin_wait: u32,
     /// How waiting callers learn their result arrived.
     handoff: Handoff,
+    /// Commit-point observer (see [`CommitHook`]); `None` for ordinary maps.
+    commit_hook: Option<CommitHook<K, V>>,
 }
 
 impl<K, V, M> ConcurrentMap<K, V, M>
@@ -186,6 +205,7 @@ where
             inline_threshold: inline_threshold_from_env(),
             spin_wait: spin_wait_from_env(),
             handoff: handoff_from_env(),
+            commit_hook: None,
         }
     }
 
@@ -217,6 +237,30 @@ where
     /// The current waiter hand-off mode.
     pub fn handoff(&self) -> Handoff {
         self.handoff
+    }
+
+    /// Installs a commit-point observer: `hook` runs on the combiner thread
+    /// with each batch, *under the inner-map lock and before the batch is
+    /// applied* — so no caller can observe a result whose batch the hook has
+    /// not yet seen, and an observer that itself takes the inner lock (via
+    /// [`ConcurrentMap::with_inner`], as the `wsm-wal` checkpointer does)
+    /// always sees hook-side effects exactly consistent with applied state.
+    /// The hook must not call back into this map.
+    #[must_use]
+    pub fn with_commit_hook(
+        mut self,
+        hook: impl Fn(&[TaggedOp<K, V>]) + Send + Sync + 'static,
+    ) -> Self {
+        self.commit_hook = Some(Box::new(hook));
+        self
+    }
+
+    /// Runs `f` with exclusive access to the underlying batched map.  The
+    /// same lock serializes the combiner's batch application (and its commit
+    /// hook), so everything `f` observes is consistent with a batch
+    /// boundary.  Do not call back into this map from `f`.
+    pub fn with_inner<R>(&self, f: impl FnOnce(&mut M) -> R) -> R {
+        f(&mut self.inner.lock())
     }
 
     /// Consumes the wrapper, returning the underlying batched map.
@@ -482,6 +526,14 @@ where
             })
             .collect();
         let mut inner = self.inner.lock();
+        // Commit point: the WAL (or any other observer) must see the batch
+        // before it mutates the map — and under the same lock, so a
+        // checkpointer holding `inner` can never observe applied state the
+        // hook has not logged.  If the hook panics (e.g. the log device
+        // died), the batch is neither logged nor applied.
+        if let Some(hook) = &self.commit_hook {
+            hook(&batch);
+        }
         let map: &mut M = &mut inner;
         // Small batches have no internal parallelism worth a pool round trip;
         // run them right here on the combiner thread.

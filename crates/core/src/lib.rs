@@ -31,6 +31,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use wsm_check::env;
+
 pub mod buffer;
 pub mod concurrent;
 pub mod doorbell;
@@ -41,7 +43,7 @@ pub mod m2;
 pub mod ops;
 
 pub use buffer::ParallelBuffer;
-pub use concurrent::{ConcurrentMap, Handoff, DEFAULT_INLINE_BATCH};
+pub use concurrent::{CommitHook, ConcurrentMap, Handoff, DEFAULT_INLINE_BATCH};
 pub use feed::{Bunch, FeedBuffer};
 pub use handoff::ResultCell;
 pub use m1::M1;

@@ -443,6 +443,34 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
         out
     }
 
+    /// The full contents, segment by segment, each segment's items in
+    /// recency order (most recent first) — everything a checkpoint needs:
+    /// rebuilding each segment from its item list reproduces both the key
+    /// set and the working-set order exactly.  Meant to be taken at a batch
+    /// boundary (the only observable state for `wsm-wal`).
+    pub fn snapshot_segments(&self) -> Vec<Vec<(K, V)>> {
+        self.segments
+            .iter()
+            .map(RecencyMap::items_in_recency_order)
+            .collect()
+    }
+
+    /// Rebuilds the map's contents from a [`M1::snapshot_segments`] image.
+    /// Only valid on a fresh map (cost meters and batch logs restart from
+    /// zero — durability restores *state*, not accounting history).
+    pub fn restore_segments(&mut self, segments: Vec<Vec<(K, V)>>) {
+        assert!(
+            self.size == 0 && self.segments.is_empty() && self.pending() == 0,
+            "restore_segments requires a fresh map"
+        );
+        self.size = segments.iter().map(Vec::len).sum();
+        self.segments = segments
+            .into_iter()
+            .map(RecencyMap::from_recency_items)
+            .collect();
+        self.drop_empty_tail();
+    }
+
     /// Convenience: runs a sequence of untagged operations as one input batch
     /// and returns the results in operation order.
     pub fn run_ops(&mut self, ops: Vec<Operation<K, V>>) -> Vec<OpResult<V>> {
@@ -729,6 +757,35 @@ mod tests {
             (measured as f64) < 60.0 * wl,
             "M1 work {measured} not within constant factor of W_L {wl}"
         );
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_preserves_state_and_order() {
+        let mut m = M1::new(4);
+        m.run_ops((0..500u64).map(|i| insert(i, i * 2)).collect());
+        // Touch a hot set so the working-set order is non-trivial.
+        m.run_ops([3u64, 99, 3, 250, 7].iter().map(|&k| search(k)).collect());
+        m.run_ops(vec![delete(10), delete(499)]);
+        let image = m.snapshot_segments();
+        let mut r = M1::new(4);
+        r.restore_segments(image);
+        r.check_invariants();
+        assert_eq!(r.size(), m.size());
+        assert_eq!(r.segment_sizes(), m.segment_sizes());
+        assert_eq!(
+            r.items_in_working_set_order(),
+            m.items_in_working_set_order()
+        );
+        // The restored map keeps answering correctly.
+        let results = r.run_ops(vec![search(3), search(10), search(250)]);
+        assert_eq!(results[0], OpResult::Search(Some(6)));
+        assert_eq!(results[1], OpResult::Search(None));
+        assert_eq!(results[2], OpResult::Search(Some(500)));
+        r.check_invariants();
+        // Empty round trip.
+        let mut e = M1::<u64, u64>::new(4);
+        e.restore_segments(M1::<u64, u64>::new(4).snapshot_segments());
+        assert_eq!(e.size(), 0);
     }
 
     #[test]

@@ -335,6 +335,44 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
             .collect()
     }
 
+    /// The full contents, segment by segment, each segment's items in
+    /// recency order (most recent first).  Only meaningful at a batch
+    /// boundary: [`M2::run_batch`](crate::ops::BatchedMap::run_batch) drives
+    /// the pipeline until every pending operation resolves, so the feed,
+    /// staging area, filter and final-slab buffers are all empty there and
+    /// the segments alone are the semantic state (the
+    /// `filter_stays_bounded_and_empties` test pins this).
+    pub fn snapshot_segments(&self) -> Vec<Vec<(K, V)>> {
+        assert!(
+            self.pending() == 0,
+            "snapshot_segments requires a batch boundary (no in-flight operations)"
+        );
+        self.segments
+            .iter()
+            .map(RecencyMap::items_in_recency_order)
+            .collect()
+    }
+
+    /// Rebuilds the map's contents from a [`M2::snapshot_segments`] image.
+    /// Only valid on a fresh map (clocks, meters and latency logs restart —
+    /// durability restores *state*, not accounting history).
+    pub fn restore_segments(&mut self, segments: Vec<Vec<(K, V)>>) {
+        assert!(
+            self.size == 0 && self.segments.is_empty() && self.pending() == 0,
+            "restore_segments requires a fresh map"
+        );
+        self.size = segments.iter().map(Vec::len).sum();
+        self.segments = segments
+            .into_iter()
+            .map(RecencyMap::from_recency_items)
+            .collect();
+        // Re-create the per-segment buffers and clocks for the final slab
+        // (all empty/zero: nothing is in flight at a boundary), then trim
+        // exactly as a normal batch run would.
+        self.ensure_final_slab_state();
+        self.drop_empty_tail();
+    }
+
     // ------------------------------------------------------------------
     // Interface run (Section 7.1, M2 interface steps 1-6)
     // ------------------------------------------------------------------
@@ -1197,5 +1235,35 @@ mod tests {
         assert_eq!(results[1], OpResult::Delete(None));
         assert_eq!(m.size(), 0);
         assert!(!m.step(), "nothing should remain scheduled");
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_preserves_state_and_order() {
+        let mut m = M2::new(2);
+        let mut state = 99;
+        m.run_ops((0..3000u64).map(|i| insert(i, i + 7)).collect());
+        for _ in 0..5 {
+            let ops: Vec<Operation<u64, u64>> = (0..150)
+                .map(|_| match xorshift(&mut state) % 3 {
+                    0 => search(xorshift(&mut state) % 3000),
+                    1 => insert(xorshift(&mut state) % 3000, xorshift(&mut state)),
+                    _ => delete(xorshift(&mut state) % 3000),
+                })
+                .collect();
+            m.run_ops(ops);
+        }
+        let image = m.snapshot_segments();
+        let mut r = M2::new(2);
+        r.restore_segments(image.clone());
+        r.check_invariants();
+        assert_eq!(r.size(), m.size());
+        assert_eq!(r.segment_sizes(), m.segment_sizes());
+        assert_eq!(r.snapshot_segments(), image);
+        // The restored pipeline keeps running and stays consistent.
+        for k in (0..3000u64).step_by(457) {
+            assert_eq!(r.peek(&k).copied(), m.peek(&k).copied());
+        }
+        r.run_ops((0..200u64).map(|i| insert(100_000 + i, i)).collect());
+        r.check_invariants();
     }
 }

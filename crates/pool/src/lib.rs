@@ -78,17 +78,18 @@ pub(crate) fn global_registry() -> &'static Arc<Registry> {
 }
 
 /// Worker count for the global pool: `WSM_POOL_THREADS` if set to a positive
-/// integer, otherwise the machine's available parallelism.
+/// integer, otherwise the machine's available parallelism.  A garbage value
+/// warns once on stderr and uses the parallelism default.
 pub fn default_thread_count() -> usize {
-    std::env::var("WSM_POOL_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        })
+    let fallback = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    wsm_check::env::parse(
+        "WSM_POOL_THREADS",
+        "a positive worker count",
+        fallback,
+        |&n| n > 0,
+    )
 }
 
 /// Worker count of the pool the caller is running in (the current worker's

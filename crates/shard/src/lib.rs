@@ -69,13 +69,10 @@ const BUFFER_SHARDS: usize = 8;
 /// Router dispatch job: `(shard index, take-once slot with its sub-batch)`.
 type DispatchJob<K, V> = (usize, Mutex<Option<Vec<Operation<K, V>>>>);
 
-/// Shard count from `WSM_SHARDS`, default 1 (unsharded).
+/// Shard count from `WSM_SHARDS`, default 1 (unsharded).  `WSM_SHARDS=0` or
+/// garbage warns once on stderr instead of silently running unsharded.
 fn shards_from_env() -> usize {
-    std::env::var("WSM_SHARDS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&s| s >= 1)
-        .unwrap_or(1)
+    wsm_core::env::parse("WSM_SHARDS", "a shard count >= 1", 1, |&s| s >= 1)
 }
 
 /// Distinct-per-thread submitter hint for the shards' parallel buffers.
@@ -194,6 +191,34 @@ where
             .map(|shard| shard.with_inline_threshold(threshold))
             .collect();
         self
+    }
+
+    /// Rebuilds each shard's front-end through `f` (builder style).  This is
+    /// how `wsm-wal` installs per-shard commit hooks: each shard's combiner
+    /// is its own serialization point, so durability wraps the shard's
+    /// [`ConcurrentMap`] itself rather than the router.  Must run before the
+    /// map is shared — rebuilding discards nothing, but in-flight callers
+    /// would race the swap.
+    #[must_use]
+    pub fn configure_shards(
+        mut self,
+        mut f: impl FnMut(usize, ConcurrentMap<K, V, M>) -> ConcurrentMap<K, V, M>,
+    ) -> Self {
+        self.shards = self
+            .shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| f(i, shard))
+            .collect();
+        self
+    }
+
+    /// Runs `f` with exclusive access to one shard's underlying batched map,
+    /// serialized against that shard's combiner (see
+    /// [`ConcurrentMap::with_inner`]) — the `wsm-wal` checkpointer snapshots
+    /// a shard here.  Panics if `shard` is out of range.
+    pub fn with_shard_inner<R>(&self, shard: usize, f: impl FnOnce(&mut M) -> R) -> R {
+        self.shards[shard].with_inner(f)
     }
 
     /// Number of shards.

@@ -59,19 +59,33 @@ pub struct RangePartitioner<K> {
 
 impl<K: Ord> RangePartitioner<K> {
     /// Builds a range partitioner from ascending split points.  `bounds` may
-    /// be empty (everything on shard 0); it is sorted defensively.
+    /// be empty (everything on shard 0); it is sorted and deduplicated
+    /// defensively — a duplicated split point would otherwise manufacture a
+    /// zero-width range, leaving one shard permanently empty while its
+    /// neighbours absorb the load.
     pub fn new(mut bounds: Vec<K>) -> Self {
         bounds.sort();
+        bounds.dedup();
         RangePartitioner { bounds }
     }
 
     /// Evenly splits the keyspace `0..keyspace` into `shards` blocks
     /// (convenience for `u64`-keyed workloads, the repo's standard shape).
+    ///
+    /// Bounds at or past the keyspace are dropped: with `keyspace < shards`
+    /// the block size clamps to 1, and the un-clamped arithmetic used to
+    /// emit split points `>= keyspace` that no key ever reaches — the
+    /// trailing shards were permanently empty while still owning a slot in
+    /// every routing decision.  Now each of the first `keyspace` shards owns
+    /// exactly one key and the arithmetic stays exact for the normal case.
     pub fn even(keyspace: u64, shards: usize) -> RangePartitioner<u64> {
         let shards = shards.max(1) as u64;
         let block = keyspace.div_ceil(shards).max(1);
         RangePartitioner {
-            bounds: (1..shards).map(|i| i * block).collect(),
+            bounds: (1..shards)
+                .map(|i| i * block)
+                .filter(|&b| b < keyspace)
+                .collect(),
         }
     }
 }
@@ -133,5 +147,71 @@ mod tests {
             counts[p.shard_of(&key, 4)] += 1;
         }
         assert_eq!(counts, vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn even_with_tiny_keyspace_uses_one_shard_per_key() {
+        // Regression: keyspace < shards used to emit bounds >= keyspace, so
+        // keys 0..keyspace all piled onto the first shards while the
+        // trailing shards could never own a key below the last bound.
+        let p = RangePartitioner::<u64>::even(2, 4);
+        assert_eq!(p.shard_of(&0, 4), 0);
+        assert_eq!(p.shard_of(&1, 4), 1);
+        // Every in-keyspace key owns its own shard for keyspace <= shards.
+        for keyspace in 1u64..=8 {
+            let p = RangePartitioner::<u64>::even(keyspace, 8);
+            let owners: Vec<usize> = (0..keyspace).map(|k| p.shard_of(&k, 8)).collect();
+            let mut distinct = owners.clone();
+            distinct.dedup();
+            assert_eq!(
+                distinct.len(),
+                keyspace as usize,
+                "keyspace {keyspace}: owners {owners:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn even_bounds_never_reach_the_keyspace() {
+        for keyspace in [1u64, 2, 3, 7, 64, 100, 1000] {
+            for shards in [1usize, 2, 3, 4, 7, 16, 128] {
+                let p = RangePartitioner::<u64>::even(keyspace, shards);
+                // Every split point must be reachable by an in-keyspace key
+                // (this is exactly what the un-clamped arithmetic violated),
+                // which makes every one of the bounds.len()+1 ranges
+                // non-empty: each split owns a distinct shard.
+                assert!(
+                    p.bounds.iter().all(|&b| b < keyspace),
+                    "keyspace {keyspace} x shards {shards}: dead bounds {:?}",
+                    p.bounds
+                );
+                let mut seen = std::collections::BTreeSet::new();
+                for key in 0..keyspace {
+                    seen.insert(p.shard_of(&key, shards));
+                }
+                assert_eq!(
+                    seen.len(),
+                    p.bounds.len() + 1,
+                    "keyspace {keyspace} x shards {shards}: some range is empty"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_split_points_are_deduplicated() {
+        // Regression: `new` kept duplicates, so bounds [10, 10, 20] made
+        // shard 1 a zero-width range — permanently empty — while keys in
+        // [10, 20) landed on shard 2.
+        let p = RangePartitioner::new(vec![10u64, 10, 20]);
+        assert_eq!(p.shard_of(&9, 3), 0);
+        assert_eq!(p.shard_of(&10, 3), 1);
+        assert_eq!(p.shard_of(&15, 3), 1);
+        assert_eq!(p.shard_of(&20, 3), 2);
+        // Even fully duplicated bounds collapse to a single split point.
+        let p = RangePartitioner::new(vec![5u64, 5, 5, 5]);
+        assert_eq!(p.shard_of(&4, 2), 0);
+        assert_eq!(p.shard_of(&5, 2), 1);
+        assert_eq!(p.shard_of(&6, 2), 1);
     }
 }

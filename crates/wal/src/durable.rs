@@ -1,0 +1,637 @@
+//! Durable front-ends: [`DurableMap`] (one combiner, one log) and
+//! [`DurableShardedMap`] (one log per shard).
+//!
+//! Both wrap the existing front-ends unchanged and add exactly two behaviors:
+//!
+//! * every committed batch is appended to a [`Wal`] *before* it is applied,
+//!   via the [`ConcurrentMap`] commit hook (under the inner-map lock, so no
+//!   caller ever observes a result whose batch is not in the log), and
+//! * every `checkpoint_every` logged batches the map's segments are written
+//!   as an atomic checkpoint and the log is truncated.
+//!
+//! IO failure policy is **fail-stop**: an `append` error panics the combiner
+//! rather than apply an unlogged batch, and a checkpoint error panics rather
+//! than let the log silently stop shrinking.  A durability layer that keeps
+//! answering after its log device died is lying to its callers.
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use wsm_core::{BatchedMap, ConcurrentMap, OpId, OpResult, Operation, TaggedOp, M1, M2};
+use wsm_shard::{HashPartitioner, ShardedMap};
+
+use crate::codec::Codec;
+use crate::log::{Recovered, RecoveryReport, SyncPolicy, Wal, WalStats};
+
+/// Submitter-ring count for the wrapped front-end's parallel buffer (same
+/// default as `wsm-shard` uses per shard).
+const BUFFER_SHARDS: usize = 8;
+
+/// A batched map whose whole semantic state can round-trip through a
+/// checkpoint image: the per-segment item lists in recency order.
+///
+/// Both working-set structures qualify because a batch boundary leaves them
+/// with *no* transient state — M2's filter/feed/staged buffers drain to empty
+/// before `run_batch` returns (pinned by its property tests) — so the
+/// segments alone are the map.
+pub trait DurableState<K, V>: BatchedMap<K, V> {
+    /// The per-segment items, most recent first within each segment.
+    fn snapshot_segments(&self) -> Vec<Vec<(K, V)>>;
+    /// Rebuilds a *fresh* map from a snapshot image (panics if `self` has
+    /// ever been used).
+    fn restore_segments(&mut self, segments: Vec<Vec<(K, V)>>);
+    /// Asserts the structure's own invariants; recovery calls this after
+    /// restore + replay, so a bad image or bad tail fails loudly at open
+    /// rather than corrupting silently at first use.
+    fn check_recovered(&self);
+}
+
+impl<K, V> DurableState<K, V> for M1<K, V>
+where
+    K: Ord + Clone + Send + Sync + std::fmt::Debug,
+    V: Clone,
+{
+    fn snapshot_segments(&self) -> Vec<Vec<(K, V)>> {
+        M1::snapshot_segments(self)
+    }
+    fn restore_segments(&mut self, segments: Vec<Vec<(K, V)>>) {
+        M1::restore_segments(self, segments);
+    }
+    fn check_recovered(&self) {
+        self.check_invariants();
+    }
+}
+
+impl<K, V> DurableState<K, V> for M2<K, V>
+where
+    K: Ord + Clone + Send + Sync + std::fmt::Debug,
+    V: Clone,
+{
+    fn snapshot_segments(&self) -> Vec<Vec<(K, V)>> {
+        M2::snapshot_segments(self)
+    }
+    fn restore_segments(&mut self, segments: Vec<Vec<(K, V)>>) {
+        M2::restore_segments(self, segments);
+    }
+    fn check_recovered(&self) {
+        self.check_invariants();
+    }
+}
+
+/// Durability knobs, defaulted from the environment: `WSM_WAL_SYNC`
+/// (`always` | `batch` | `off`) and `WSM_WAL_CHECKPOINT_EVERY` (logged
+/// batches between checkpoints, default 1024, must be at least 1 — garbage
+/// warns once and keeps the default).
+#[derive(Clone, Copy, Debug)]
+pub struct DurableOptions {
+    /// When appended records reach the disk (see [`SyncPolicy`]).
+    pub sync: SyncPolicy,
+    /// Checkpoint (and truncate the log) every this many logged batches.
+    pub checkpoint_every: u64,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            sync: SyncPolicy::from_env(),
+            checkpoint_every: wsm_core::env::parse(
+                "WSM_WAL_CHECKPOINT_EVERY",
+                "a batch count >= 1",
+                1024,
+                |&n: &u64| n >= 1,
+            ),
+        }
+    }
+}
+
+/// Distinct-per-thread submitter hint for the wrapped front-end's parallel
+/// buffer (contention only, never correctness) — same idiom as `wsm-shard`.
+fn caller_hint() -> usize {
+    static NEXT_HINT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static HINT: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+    }
+    HINT.with(|hint| match hint.get() {
+        Some(h) => h,
+        None => {
+            // ord: Relaxed — the counter only hands out distinct ring hints;
+            // nothing is published through it.
+            let h = NEXT_HINT.fetch_add(1, Ordering::Relaxed);
+            hint.set(Some(h));
+            h
+        }
+    })
+}
+
+/// Replays one logged batch through the ordinary batch path (results are
+/// discarded — their callers are long gone).
+fn replay<K, V, M: BatchedMap<K, V>>(map: &mut M, ops: Vec<Operation<K, V>>) {
+    let batch: Vec<TaggedOp<K, V>> = ops
+        .into_iter()
+        .enumerate()
+        .map(|(i, op)| TaggedOp { id: i as OpId, op })
+        .collect();
+    let _ = map.run_batch(batch);
+}
+
+/// Recovers one serialization point: restore the checkpoint image into a
+/// fresh map, replay the log tail, assert invariants.
+fn recover_into<K, V, M>(map: &mut M, recovered: Recovered<K, V>) -> RecoveryReport
+where
+    M: DurableState<K, V>,
+{
+    if let Some(segments) = recovered.segments {
+        map.restore_segments(segments);
+    }
+    for ops in recovered.tail {
+        replay(map, ops);
+    }
+    map.check_recovered();
+    recovered.report
+}
+
+/// A [`ConcurrentMap`] whose committed batches are write-ahead logged and
+/// periodically checkpointed, and which resumes from the log on open.
+///
+/// ```no_run
+/// use wsm_core::M1;
+/// use wsm_wal::{DurableMap, DurableOptions};
+///
+/// let opts = DurableOptions::default();
+/// let map = DurableMap::open_with("wal-dir".as_ref(), opts, || M1::<u64, u64>::new(8)).unwrap();
+/// map.insert(1, 10);
+/// drop(map); // or crash —
+/// let map = DurableMap::open_with("wal-dir".as_ref(), opts, || M1::<u64, u64>::new(8)).unwrap();
+/// assert_eq!(map.search(1), Some(10));
+/// ```
+pub struct DurableMap<K, V, M> {
+    map: ConcurrentMap<K, V, M>,
+    wal: Arc<Wal<K, V>>,
+    checkpoint_every: u64,
+    recovery: RecoveryReport,
+}
+
+impl<K, V, M> DurableMap<K, V, M>
+where
+    K: Codec + Ord + Clone + Send + Sync + 'static,
+    V: Codec + Clone + Send + 'static,
+    M: DurableState<K, V> + Send,
+{
+    /// Opens (creating if needed) a durable map in `dir` with options from
+    /// the environment (`WSM_WAL_SYNC`, `WSM_WAL_CHECKPOINT_EVERY`).
+    /// `make()` constructs the *empty* batched map; recovery fills it.
+    pub fn open(dir: &Path, make: impl FnOnce() -> M) -> io::Result<Self> {
+        Self::open_with(dir, DurableOptions::default(), make)
+    }
+
+    /// Opens with explicit [`DurableOptions`]: loads the newest valid
+    /// checkpoint, replays the log tail (truncating a torn final record),
+    /// asserts the structure's invariants, then installs the commit hook so
+    /// every later batch is logged before it is applied.
+    pub fn open_with(
+        dir: &Path,
+        opts: DurableOptions,
+        make: impl FnOnce() -> M,
+    ) -> io::Result<Self> {
+        let (wal, recovered) = Wal::open(dir, opts.sync)?;
+        let mut inner = make();
+        let recovery = recover_into(&mut inner, recovered);
+        let wal = Arc::new(wal);
+        let hook_wal = Arc::clone(&wal);
+        let map = ConcurrentMap::new(inner, BUFFER_SHARDS).with_commit_hook(move |batch| {
+            // Fail-stop: applying a batch the log refused would hand out
+            // results that a reopen could not reproduce.
+            hook_wal
+                .append(batch)
+                .expect("WAL append failed; refusing to apply an unlogged batch");
+        });
+        Ok(DurableMap {
+            map,
+            wal,
+            checkpoint_every: opts.checkpoint_every.max(1),
+            recovery,
+        })
+    }
+
+    /// What recovery found when this map was opened.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Point-in-time WAL counters.
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.stats()
+    }
+
+    /// Current number of items.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Searches for a key (never logged: searches change only recency order,
+    /// which the next checkpoint re-captures).
+    pub fn search(&self, key: K) -> Option<V> {
+        self.map.search(caller_hint(), key)
+    }
+
+    /// Inserts a key/value pair, returning the previous value.  The batch
+    /// carrying this insert is on the log before this returns.
+    pub fn insert(&self, key: K, val: V) -> Option<V> {
+        let prev = self.map.insert(caller_hint(), key, val);
+        self.maybe_checkpoint();
+        prev
+    }
+
+    /// Deletes a key, returning its value if present.
+    pub fn delete(&self, key: K) -> Option<V> {
+        let prev = self.map.delete(caller_hint(), key);
+        self.maybe_checkpoint();
+        prev
+    }
+
+    /// Runs a batch of operations, returning results in operation order.
+    pub fn call_batch(&self, ops: Vec<Operation<K, V>>) -> Vec<OpResult<V>> {
+        let results = self.map.call_batch(caller_hint(), ops);
+        self.maybe_checkpoint();
+        results
+    }
+
+    /// Takes a checkpoint now: snapshots the segments under the inner-map
+    /// lock (serialized against the combiner and its commit hook, so the
+    /// image is exactly the logged prefix) and truncates the log.  Returns
+    /// the checkpoint sequence.
+    pub fn checkpoint(&self) -> io::Result<u64> {
+        self.map
+            .with_inner(|m| self.wal.checkpoint(&m.snapshot_segments()))
+    }
+
+    /// Pushes any user-space-buffered records ([`SyncPolicy::Off`]) to the
+    /// OS.  No-op under the other policies.
+    pub fn flush(&self) -> io::Result<()> {
+        self.wal.flush()
+    }
+
+    fn maybe_checkpoint(&self) {
+        if self.wal.since_checkpoint() >= self.checkpoint_every {
+            self.checkpoint()
+                .expect("WAL checkpoint failed; refusing to let the log grow unbounded");
+        }
+    }
+}
+
+/// A [`ShardedMap`] with one [`Wal`] per shard (under `dir/shard-<i>/`).
+///
+/// Each shard's combiner is its own serialization point, so per-shard logs
+/// need no cross-shard ordering: the partitioner routes every operation on a
+/// key through exactly one shard, and per-key durability is per-shard
+/// durability.  Cross-shard batches are *not* atomic under a crash — some
+/// shards' sub-batches may be durable while others are not — matching the
+/// map's live semantics, where cross-key operations carry no ordering
+/// obligation.
+pub struct DurableShardedMap<K, V, M> {
+    map: ShardedMap<K, V, M, HashPartitioner>,
+    wals: Vec<Arc<Wal<K, V>>>,
+    checkpoint_every: u64,
+    recovery: Vec<RecoveryReport>,
+}
+
+impl<K, V, M> DurableShardedMap<K, V, M>
+where
+    K: Codec + Ord + Clone + Send + Sync + std::hash::Hash + 'static,
+    V: Codec + Clone + Send + 'static,
+    M: DurableState<K, V> + Send,
+{
+    /// Opens (creating if needed) a durable sharded map in `dir` with
+    /// `shards` shards (at least one) and options from the environment.
+    /// `make(i)` constructs the *empty* batched map for shard `i`.
+    pub fn open(dir: &Path, shards: usize, make: impl FnMut(usize) -> M) -> io::Result<Self> {
+        Self::open_with(dir, shards, DurableOptions::default(), make)
+    }
+
+    /// Opens with explicit [`DurableOptions`].  Each shard recovers
+    /// independently from its own `dir/shard-<i>/` WAL; the shard count must
+    /// match across opens (keys do not migrate).
+    pub fn open_with(
+        dir: &Path,
+        shards: usize,
+        opts: DurableOptions,
+        mut make: impl FnMut(usize) -> M,
+    ) -> io::Result<Self> {
+        let shards = shards.max(1);
+        let mut wals = Vec::with_capacity(shards);
+        let mut recovery = Vec::with_capacity(shards);
+        let mut recovered: Vec<Option<M>> = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (wal, found) = Wal::open(&dir.join(format!("shard-{i}")), opts.sync)?;
+            let mut inner = make(i);
+            recovery.push(recover_into(&mut inner, found));
+            wals.push(Arc::new(wal));
+            recovered.push(Some(inner));
+        }
+        let map = ShardedMap::with_shards(shards, |i| {
+            recovered[i]
+                .take()
+                .expect("each shard is built exactly once")
+        })
+        .configure_shards(|i, shard| {
+            let wal = Arc::clone(&wals[i]);
+            shard.with_commit_hook(move |batch| {
+                wal.append(batch)
+                    .expect("WAL append failed; refusing to apply an unlogged batch");
+            })
+        });
+        Ok(DurableShardedMap {
+            map,
+            wals,
+            checkpoint_every: opts.checkpoint_every.max(1),
+            recovery,
+        })
+    }
+
+    /// Per-shard recovery reports, in shard order.
+    pub fn recovery(&self) -> &[RecoveryReport] {
+        &self.recovery
+    }
+
+    /// Per-shard WAL counters, in shard order.
+    pub fn wal_stats(&self) -> Vec<WalStats> {
+        self.wals.iter().map(|w| w.stats()).collect()
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.map.shards()
+    }
+
+    /// Total items across all shards.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Searches for a key on its owning shard (never logged).
+    pub fn get(&self, key: K) -> Option<V> {
+        self.map.get(key)
+    }
+
+    /// Inserts a key/value pair on the key's owning shard; the batch carrying
+    /// it is on that shard's log before this returns.
+    pub fn insert(&self, key: K, val: V) -> Option<V> {
+        let prev = self.map.insert(key, val);
+        self.maybe_checkpoint();
+        prev
+    }
+
+    /// Removes a key from its owning shard.
+    pub fn remove(&self, key: K) -> Option<V> {
+        let prev = self.map.remove(key);
+        self.maybe_checkpoint();
+        prev
+    }
+
+    /// Runs a batch of operations through the router, returning results in
+    /// operation order.  Durability is per shard: under a crash, each shard's
+    /// durable prefix is a prefix of *its* sub-batches.
+    pub fn run_batch(&self, ops: Vec<Operation<K, V>>) -> Vec<OpResult<V>> {
+        let results = self.map.run_batch(ops);
+        self.maybe_checkpoint();
+        results
+    }
+
+    /// Batch insert: the previous value per pair, in input order.
+    pub fn insert_batch(&self, pairs: Vec<(K, V)>) -> Vec<Option<V>> {
+        let results = self.map.insert_batch(pairs);
+        self.maybe_checkpoint();
+        results
+    }
+
+    /// Batch search: one result per key, in input order.
+    pub fn get_batch(&self, keys: Vec<K>) -> Vec<Option<V>> {
+        self.map.get_batch(keys)
+    }
+
+    /// Batch remove: the removed value per key, in input order.
+    pub fn remove_batch(&self, keys: Vec<K>) -> Vec<Option<V>> {
+        let results = self.map.remove_batch(keys);
+        self.maybe_checkpoint();
+        results
+    }
+
+    /// Checkpoints one shard now (see [`DurableMap::checkpoint`]).
+    pub fn checkpoint_shard(&self, shard: usize) -> io::Result<u64> {
+        self.map.with_shard_inner(shard, |m| {
+            self.wals[shard].checkpoint(&m.snapshot_segments())
+        })
+    }
+
+    /// Checkpoints every shard, returning the per-shard sequences.
+    pub fn checkpoint_all(&self) -> io::Result<Vec<u64>> {
+        (0..self.shards())
+            .map(|i| self.checkpoint_shard(i))
+            .collect()
+    }
+
+    /// Pushes any user-space-buffered records to the OS on every shard.
+    pub fn flush(&self) -> io::Result<()> {
+        self.wals.iter().try_for_each(|w| w.flush())
+    }
+
+    fn maybe_checkpoint(&self) {
+        for (i, wal) in self.wals.iter().enumerate() {
+            if wal.since_checkpoint() >= self.checkpoint_every {
+                self.checkpoint_shard(i)
+                    .expect("WAL checkpoint failed; refusing to let the log grow unbounded");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    /// A fresh per-test directory (tests run in parallel in one process, so
+    /// the tag must be unique per test).
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wsm-wal-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn opts(sync: SyncPolicy, checkpoint_every: u64) -> DurableOptions {
+        DurableOptions {
+            sync,
+            checkpoint_every,
+        }
+    }
+
+    #[test]
+    fn reopen_recovers_every_mutation_m1() {
+        let dir = fresh_dir("reopen-m1");
+        let o = opts(SyncPolicy::Batch, u64::MAX);
+        {
+            let map = DurableMap::open_with(&dir, o, || M1::<u64, u64>::new(4)).unwrap();
+            assert_eq!(map.recovery(), RecoveryReport::default());
+            for k in 0..300u64 {
+                assert_eq!(map.insert(k, k * 2), None);
+            }
+            for k in 0..100u64 {
+                assert_eq!(map.delete(k * 3), Some(k * 6));
+            }
+            let stats = map.wal_stats();
+            assert_eq!(stats.ops_logged, 400);
+            assert_eq!(stats.checkpoints, 0);
+        }
+        let map = DurableMap::open_with(&dir, o, || M1::<u64, u64>::new(4)).unwrap();
+        let report = map.recovery();
+        assert_eq!(report.checkpoint_seq, 0);
+        assert_eq!(report.replayed_ops, 400);
+        assert!(!report.truncated_torn_tail);
+        for k in 0..300u64 {
+            let expect = (k % 3 != 0).then_some(k * 2);
+            assert_eq!(map.search(k), expect, "k={k}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn periodic_checkpoints_truncate_the_log_m2() {
+        let dir = fresh_dir("ckpt-m2");
+        let o = opts(SyncPolicy::Always, 4);
+        {
+            let map = DurableMap::open_with(&dir, o, || M2::<u64, u64>::new(4)).unwrap();
+            for k in 0..200u64 {
+                map.insert(k, k + 1);
+            }
+            let stats = map.wal_stats();
+            assert!(stats.checkpoints > 0, "checkpoint_every=4 must checkpoint");
+            assert!(stats.since_checkpoint < stats.batches_logged);
+            assert!(
+                stats.syncs >= stats.batches_logged,
+                "Always syncs per batch"
+            );
+        }
+        let map = DurableMap::open_with(&dir, o, || M2::<u64, u64>::new(4)).unwrap();
+        let report = map.recovery();
+        assert!(report.checkpoint_seq > 0, "reopen must use the checkpoint");
+        assert_eq!(
+            report.checkpoint_items + report.replayed_ops,
+            200,
+            "checkpoint + tail must cover every mutation: {report:?}"
+        );
+        for k in 0..200u64 {
+            assert_eq!(map.search(k), Some(k + 1), "k={k}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn off_policy_needs_flush_or_drop() {
+        let dir = fresh_dir("off-flush");
+        let o = opts(SyncPolicy::Off, u64::MAX);
+        {
+            let map = DurableMap::open_with(&dir, o, || M1::<u64, u64>::new(4)).unwrap();
+            for k in 0..50u64 {
+                map.insert(k, k);
+            }
+            // Drop flushes the user-space buffer (a crash here could lose
+            // the un-flushed suffix — that's the policy's contract).
+        }
+        let map = DurableMap::open_with(&dir, o, || M1::<u64, u64>::new(4)).unwrap();
+        assert_eq!(map.len(), 50);
+        assert_eq!(map.recovery().replayed_ops, 50);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batches_and_searches_round_trip() {
+        let dir = fresh_dir("batch");
+        let o = opts(SyncPolicy::Batch, u64::MAX);
+        {
+            let map = DurableMap::open_with(&dir, o, || M1::<u64, u64>::new(4)).unwrap();
+            let ops: Vec<Operation<u64, u64>> = (0..64u64)
+                .map(|k| Operation::Insert(k, k))
+                .chain((0..64u64).map(Operation::Search))
+                .collect();
+            let results = map.call_batch(ops);
+            assert_eq!(results.len(), 128);
+            // Search-only traffic appends nothing.
+            let logged_before = map.wal_stats().ops_logged;
+            map.call_batch((0..64u64).map(Operation::Search).collect());
+            assert_eq!(map.wal_stats().ops_logged, logged_before);
+        }
+        let map = DurableMap::open_with(&dir, o, || M1::<u64, u64>::new(4)).unwrap();
+        assert_eq!(map.len(), 64);
+        assert_eq!(map.recovery().replayed_ops, 64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_map_recovers_each_shard_independently() {
+        let dir = fresh_dir("sharded");
+        let o = opts(SyncPolicy::Batch, 8);
+        {
+            let map = DurableShardedMap::open_with(&dir, 4, o, |_| M1::<u64, u64>::new(4)).unwrap();
+            assert_eq!(map.shards(), 4);
+            let prev = map.insert_batch((0..500u64).map(|k| (k, k + 7)).collect());
+            assert!(prev.iter().all(Option::is_none));
+            map.remove_batch((0..100u64).map(|k| k * 5).collect());
+            let stats = map.wal_stats();
+            assert_eq!(stats.len(), 4);
+            assert!(
+                stats.iter().all(|s| s.batches_logged > 0),
+                "every shard must have logged: {stats:?}"
+            );
+        }
+        let map = DurableShardedMap::open_with(&dir, 4, o, |_| M1::<u64, u64>::new(4)).unwrap();
+        assert_eq!(map.len(), 400);
+        let total_recovered: u64 = map
+            .recovery()
+            .iter()
+            .map(|r| r.checkpoint_items + r.replayed_ops)
+            .sum();
+        assert!(
+            total_recovered >= 400,
+            "recovery covers state: {total_recovered}"
+        );
+        for k in 0..500u64 {
+            let expect = (k % 5 != 0).then_some(k + 7);
+            assert_eq!(map.get(k), expect, "k={k}");
+        }
+        // Manual checkpoint of every shard resets the tails.
+        map.checkpoint_all().unwrap();
+        assert!(map.wal_stats().iter().all(|s| s.since_checkpoint == 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn double_open_is_idempotent() {
+        let dir = fresh_dir("double");
+        let o = opts(SyncPolicy::Batch, 4);
+        {
+            let map = DurableMap::open_with(&dir, o, || M1::<u64, u64>::new(4)).unwrap();
+            for k in 0..50u64 {
+                map.insert(k, k);
+            }
+        }
+        let first = {
+            let map = DurableMap::open_with(&dir, o, || M1::<u64, u64>::new(4)).unwrap();
+            (map.recovery(), map.len())
+        };
+        let map = DurableMap::open_with(&dir, o, || M1::<u64, u64>::new(4)).unwrap();
+        assert_eq!((map.recovery(), map.len()), first, "reopen must be a no-op");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

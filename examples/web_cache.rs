@@ -21,6 +21,13 @@
 //! r)` work per request instead of `O(log n)`.  The example compares the
 //! implicitly-batched working-set map against a coarse-locked AVL tree on the
 //! same request stream and reports wall-clock time and effective work.
+//!
+//! With `WSM_DURABLE_DIR=path` the run finishes with a durability demo: a
+//! burst of inserts is served through a WAL-backed [`wsm_wal::DurableMap`] in
+//! that directory, the process "crashes" (the map is leaked so no destructor
+//! runs), and the directory is reopened to show the recovery report and that
+//! every logged page survived.  `WSM_WAL_SYNC` / `WSM_WAL_CHECKPOINT_EVERY`
+//! tune the demo's WAL exactly as they would a real deployment.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -34,20 +41,12 @@ const REQUESTS_PER_WORKER: usize = 20_000;
 
 /// Request-serving OS threads: `WSM_WORKERS` or 4.
 fn workers() -> usize {
-    std::env::var("WSM_WORKERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(4)
+    wsm_core::env::parse("WSM_WORKERS", "a worker count >= 1", 4, |&n: &usize| n > 0)
 }
 
 /// Keyspace shards: `WSM_SHARDS` or 1 (single combiner, the default).
 fn shards() -> usize {
-    std::env::var("WSM_SHARDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(1)
+    wsm_core::env::parse("WSM_SHARDS", "a shard count >= 1", 1, |&n: &usize| n > 0)
 }
 
 fn request_stream(worker: u64) -> Vec<u64> {
@@ -138,6 +137,57 @@ fn serve_sharded(shards: usize, workers: usize) -> (Duration, u64, u64) {
     (elapsed, work, hits)
 }
 
+/// `WSM_DURABLE_DIR` demo: log a burst of inserts through a WAL-backed map,
+/// "crash" without running a single destructor, then reopen the directory and
+/// prove nothing durable was lost.
+fn durable_demo(dir: &str, workers: usize) {
+    use wsm_wal::DurableMap;
+
+    const BURST: u64 = 1024;
+    let path = std::path::Path::new(dir);
+    let _ = std::fs::remove_dir_all(path);
+    let make = move || M1::<u64, u64>::new(workers.max(2));
+
+    println!("\ndurability demo (WSM_DURABLE_DIR={dir}):");
+    let cache = DurableMap::open(path, make).expect("open durable cache");
+    for page in 0..BURST {
+        cache.insert(page, page);
+    }
+    cache.flush().expect("flush WAL");
+    let stats = cache.wal_stats();
+    println!(
+        "  logged {} batches / {} ops ({} bytes appended, {} fsyncs, {} checkpoints)",
+        stats.batches_logged,
+        stats.ops_logged,
+        stats.bytes_appended,
+        stats.syncs,
+        stats.checkpoints
+    );
+
+    // Simulated kill -9: leak the map so neither the combiner nor the WAL
+    // runs any shutdown path.  Everything the reopen sees went through the
+    // commit hook before the "crash".
+    std::mem::forget(cache);
+
+    let cache = DurableMap::open(path, make).expect("reopen durable cache");
+    let rec = cache.recovery();
+    println!(
+        "  reopened: checkpoint seq {} ({} items), replayed {} batches / {} ops{}",
+        rec.checkpoint_seq,
+        rec.checkpoint_items,
+        rec.replayed_batches,
+        rec.replayed_ops,
+        if rec.truncated_torn_tail {
+            ", truncated a torn tail"
+        } else {
+            ""
+        }
+    );
+    let survived = (0..BURST).filter(|&p| cache.search(p) == Some(p)).count() as u64;
+    println!("  {survived}/{BURST} pages survived the crash");
+    assert_eq!(survived, BURST, "logged inserts must survive reopen");
+}
+
 fn main() {
     let workers = workers();
     let shards = shards();
@@ -185,6 +235,13 @@ fn main() {
         "working-set map does {:.1}x less comparison work per request on this Zipfian stream",
         avl_work as f64 / wsm_work.max(1) as f64
     );
+
+    // --- optional durability demo --------------------------------------------
+    if let Ok(dir) = std::env::var("WSM_DURABLE_DIR") {
+        if !dir.is_empty() {
+            durable_demo(&dir, workers);
+        }
+    }
 }
 
 /// Tiny shim so the example only depends on std (std::sync::Mutex with a
