@@ -55,6 +55,10 @@ fn in_pool(
 /// Small-preset runs write to a `_small`-suffixed file (with the preset also
 /// recorded in the meta), so the committed small-preset trend artifacts are
 /// never clobbered with incomparable paper-shaped numbers and vice versa.
+/// Likewise every artifact records the tree `fanout` in its meta, and
+/// non-default fanouts (e.g. a `WSM_TREE_FANOUT=2` run of the analytic
+/// reference) write to a `_b{fanout}`-suffixed file, so B=2 and B=16 runs of
+/// the same preset never clobber each other.
 fn emit(ids: &[&str], title: &str, rows: &[bench::Row], threads: Option<usize>, small: bool) {
     bench::print_table(title, rows);
     let threads_meta = match threads {
@@ -62,25 +66,36 @@ fn emit(ids: &[&str], title: &str, rows: &[bench::Row], threads: Option<usize>, 
         None => "default".to_string(),
     };
     let preset = if small { "small" } else { "full" };
+    let fanout = wsm_twothree::default_fanout();
     let primary = ids[0];
     for id in ids {
         let mut meta = vec![
             ("threads", threads_meta.clone()),
             ("preset", preset.to_string()),
+            ("fanout", fanout.to_string()),
         ];
         if id != &primary {
             meta.push(("alias_of", primary.to_string()));
         }
-        let file_id = if small {
-            format!("{id}_small")
-        } else {
-            (*id).to_string()
-        };
+        let file_id = format!("{id}{}", artifact_suffix(small, fanout));
         match bench::json::write_rows(&bench::json::bench_dir(), &file_id, &meta, rows) {
             Ok(path) => println!("[wrote {}]", path.display()),
             Err(err) => eprintln!("warning: could not write BENCH_{file_id}.json: {err}"),
         }
     }
+}
+
+/// File-id suffix for the active preset and fanout: `_b{fanout}` for
+/// non-default fanouts, then `_small` for the small preset.
+fn artifact_suffix(small: bool, fanout: usize) -> String {
+    let mut suffix = String::new();
+    if fanout != 16 {
+        suffix.push_str(&format!("_b{fanout}"));
+    }
+    if small {
+        suffix.push_str("_small");
+    }
+    suffix
 }
 
 /// Every experiment id an artifact is expected for (aliases included).
@@ -94,7 +109,8 @@ const ALL_IDS: [&str; 20] = [
 /// silently absent from the trend data.
 fn warn_missing_artifacts(small: bool) {
     let dir = bench::json::bench_dir();
-    let suffix = if small { "_small" } else { "" };
+    let suffix = artifact_suffix(small, wsm_twothree::default_fanout());
+    let suffix = suffix.as_str();
     let missing: Vec<&str> = ALL_IDS
         .iter()
         .copied()

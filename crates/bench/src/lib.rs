@@ -969,11 +969,24 @@ pub fn experiment_cost_constants(keyspace: u64, operations: usize) -> Vec<Row> {
 /// pass for a one-sided op (batch removal, batch push, an eviction take), 2
 /// for a transfer (take + push), where the two-tree design paid 2 and 4.
 ///
+/// Since the fanout-B arena rewrite every row also records `nodes/op`
+/// (thread-local metered tree-node touches) and `ns/op` (wall time), and an
+/// A/B micro family re-runs the point / batch / transfer shapes at `B = 2`
+/// (the paper's 2-3 shape) and `B = 16` (the cache-conscious default): node
+/// touches per op must drop by roughly the height ratio
+/// `log2(n) / log_{B/2}(n)`, which is what makes the wide node pay for its
+/// linear in-node scans.  The thread-local meter is exact on the micro and
+/// A/B rows (they run on the harness thread); the map-level rows execute
+/// batches inside the combiner's pool, where the cross-thread measured
+/// node-touch work is what `W/op` reports, so their `nodes/op` column only
+/// counts harness-thread touches (typically 0).
+///
 /// Results are persisted to `BENCH_e18.json` so the constant-factor drop is
 /// a tracked regression, not a one-off PR note.
 pub fn experiment_tree_passes(keyspace: u64, operations: usize) -> Vec<Row> {
+    use std::time::Instant;
     use wsm_twothree::cost as tcost;
-    use wsm_twothree::RecencyMap;
+    use wsm_twothree::{RecencyMap, Tree23};
     let p = 4;
     let mut rows = Vec::new();
 
@@ -1006,11 +1019,15 @@ pub fn experiment_tree_passes(keyspace: u64, operations: usize) -> Vec<Row> {
         let total_ops = ops.len() as f64;
         let mut m1 = M1::new(p);
         tcost::reset_tree_passes();
-        run_batched(&mut m1, &ops, p * p);
+        let start = Instant::now();
+        let (_, m1_nodes) = tcost::metered(|| run_batched(&mut m1, &ops, p * p));
+        let m1_ns = start.elapsed().as_nanos() as f64;
         let m1_passes = tcost::tree_passes() as f64;
         let mut m2 = M2::new(p);
         tcost::reset_tree_passes();
-        run_batched(&mut m2, &ops, p * p);
+        let start = Instant::now();
+        let (_, m2_nodes) = tcost::metered(|| run_batched(&mut m2, &ops, p * p));
+        let m2_ns = start.elapsed().as_nanos() as f64;
         let m2_passes = tcost::tree_passes() as f64;
         tcost::reset_tree_passes();
         rows.push(Row::new(
@@ -1019,6 +1036,8 @@ pub fn experiment_tree_passes(keyspace: u64, operations: usize) -> Vec<Row> {
                 ("ops", total_ops),
                 ("tree passes", m1_passes),
                 ("passes/op", m1_passes / total_ops),
+                ("nodes/op", m1_nodes as f64 / total_ops),
+                ("ns/op", m1_ns / total_ops),
                 ("W/op", m1.effective_work() as f64 / total_ops),
             ],
         ));
@@ -1028,6 +1047,8 @@ pub fn experiment_tree_passes(keyspace: u64, operations: usize) -> Vec<Row> {
                 ("ops", total_ops),
                 ("tree passes", m2_passes),
                 ("passes/op", m2_passes / total_ops),
+                ("nodes/op", m2_nodes as f64 / total_ops),
+                ("ns/op", m2_ns / total_ops),
                 ("W/op", m2.effective_work() as f64 / total_ops),
             ],
         ));
@@ -1041,64 +1062,97 @@ pub fn experiment_tree_passes(keyspace: u64, operations: usize) -> Vec<Row> {
         }
         m
     };
+    let micro = |rows: &mut Vec<Row>, label: &str, f: &mut dyn FnMut()| {
+        tcost::reset_tree_passes();
+        let start = Instant::now();
+        let ((), nodes) = tcost::metered(f);
+        let ns = start.elapsed().as_nanos() as f64;
+        let passes = tcost::tree_passes() as f64;
+        tcost::reset_tree_passes();
+        rows.push(Row::new(
+            label,
+            vec![
+                ("ops", 1.0),
+                ("tree passes", passes),
+                ("passes/op", passes),
+                ("nodes/op", nodes as f64),
+                ("ns/op", ns),
+                ("W/op", 0.0),
+            ],
+        ));
+    };
     let mut m = build(512);
     let keys: Vec<u64> = (0..64u64).map(|i| i * 8).collect();
-    tcost::reset_tree_passes();
-    let removed_items: Vec<(u64, u64)> = keys
-        .iter()
-        .zip(m.remove_batch(&keys))
-        .map(|(&k, v)| (k, v.expect("key present")))
-        .collect();
-    let remove_passes = tcost::tree_passes() as f64;
-    rows.push(Row::new(
-        "segment remove_batch b=64 n=512",
-        vec![
-            ("ops", 1.0),
-            ("tree passes", remove_passes),
-            ("passes/op", remove_passes),
-            ("W/op", 0.0),
-        ],
-    ));
-    tcost::reset_tree_passes();
-    m.push_front_batch(removed_items);
-    let push_passes = tcost::tree_passes() as f64;
-    rows.push(Row::new(
+    let mut removed_items: Vec<(u64, u64)> = Vec::new();
+    micro(&mut rows, "segment remove_batch b=64 n=512", &mut || {
+        removed_items = keys
+            .iter()
+            .zip(m.remove_batch(&keys))
+            .map(|(&k, v)| (k, v.expect("key present")))
+            .collect();
+    });
+    let removed_items = std::mem::take(&mut removed_items);
+    micro(
+        &mut rows,
         "segment push_front_batch b=64 n=512",
-        vec![
-            ("ops", 1.0),
-            ("tree passes", push_passes),
-            ("passes/op", push_passes),
-            ("W/op", 0.0),
-        ],
-    ));
+        &mut || {
+            m.push_front_batch(removed_items.clone());
+        },
+    );
     let mut dest = build(256);
-    tcost::reset_tree_passes();
-    let moved = m.take_back(64);
-    dest.push_front_batch(moved.into_iter().map(|(k, v)| (k + 10_000, v)).collect());
-    let transfer_passes = tcost::tree_passes() as f64;
-    rows.push(Row::new(
+    micro(
+        &mut rows,
         "segment transfer k=64 (take_back + push_front)",
-        vec![
-            ("ops", 1.0),
-            ("tree passes", transfer_passes),
-            ("passes/op", transfer_passes),
-            ("W/op", 0.0),
-        ],
-    ));
-    tcost::reset_tree_passes();
-    let evicted = m.take_front(64);
-    let evict_passes = tcost::tree_passes() as f64;
-    assert_eq!(evicted.len(), 64);
-    rows.push(Row::new(
-        "segment take_front k=64 (eviction)",
-        vec![
-            ("ops", 1.0),
-            ("tree passes", evict_passes),
-            ("passes/op", evict_passes),
-            ("W/op", 0.0),
-        ],
-    ));
-    tcost::reset_tree_passes();
+        &mut || {
+            let moved = m.take_back(64);
+            dest.push_front_batch(moved.into_iter().map(|(k, v)| (k + 10_000, v)).collect());
+        },
+    );
+    micro(&mut rows, "segment take_front k=64 (eviction)", &mut || {
+        let evicted = m.take_front(64);
+        assert_eq!(evicted.len(), 64);
+    });
+
+    // A/B micro family: the same op shapes on the 2-3 reference (B = 2) and
+    // the cache-conscious default (B = 16).  Passes are structural and must
+    // not change with the fanout; nodes/op must drop at B = 16 by roughly
+    // the height ratio log2(n) / log_{B/2}(n).
+    let n = keyspace.max(512);
+    for fan in [2usize, 16] {
+        let items: Vec<(u64, u64)> = (0..n).map(|i| (i, i)).collect();
+        let mut tree: Tree23<u64, u64> = Tree23::from_sorted_with_fanout(items, fan);
+        let probes: Vec<u64> = (0..256u64).map(|i| (i * 97) % n).collect();
+        micro(
+            &mut rows,
+            &format!("point get x256 n={n} fanout={fan}"),
+            &mut || {
+                for k in &probes {
+                    assert!(tree.get(k).is_some());
+                }
+            },
+        );
+        let batch: Vec<(u64, u64)> = (0..64u64).map(|i| (n + i * 3, i)).collect();
+        micro(
+            &mut rows,
+            &format!("batch insert b=64 n={n} fanout={fan}"),
+            &mut || {
+                tree.batch_insert(batch.clone());
+            },
+        );
+        let mut src: RecencyMap<u64, u64> = RecencyMap::with_fanout(fan);
+        let mut dst: RecencyMap<u64, u64> = RecencyMap::with_fanout(fan);
+        for i in 0..n {
+            src.insert_back(i, i);
+        }
+        micro(
+            &mut rows,
+            &format!("segment transfer k=64 n={n} fanout={fan}"),
+            &mut || {
+                let moved = src.take_back(64);
+                dst.push_front_batch(moved);
+            },
+        );
+    }
     rows
 }
 
@@ -1601,8 +1655,8 @@ mod tests {
     #[test]
     fn tree_passes_experiment_pins_single_pass_segment_ops() {
         let rows = experiment_tree_passes(1 << 9, 1 << 11);
-        // 3 workloads x 2 structures + 4 micro rows.
-        assert_eq!(rows.len(), 10);
+        // 3 workloads x 2 structures + 4 micro rows + 2 fanouts x 3 A/B rows.
+        assert_eq!(rows.len(), 16);
         let get = |label: &str, key: &str| -> f64 {
             rows.iter()
                 .find(|r| r.label == label)
@@ -1631,6 +1685,28 @@ mod tests {
             get("segment take_front k=64 (eviction)", "tree passes"),
             1.0
         );
+        // The A/B family: passes are structural (fanout-independent), while
+        // the wide node must touch strictly fewer nodes on every shape.
+        let n = 1u64 << 9;
+        for shape in [
+            format!("point get x256 n={n}"),
+            format!("batch insert b=64 n={n}"),
+            format!("segment transfer k=64 n={n}"),
+        ] {
+            let narrow = format!("{shape} fanout=2");
+            let wide = format!("{shape} fanout=16");
+            assert_eq!(
+                get(&narrow, "tree passes"),
+                get(&wide, "tree passes"),
+                "{shape}: pass counts must not depend on the fanout"
+            );
+            assert!(
+                get(&wide, "nodes/op") < get(&narrow, "nodes/op"),
+                "{shape}: B=16 should touch fewer nodes than B=2 ({} vs {})",
+                get(&wide, "nodes/op"),
+                get(&narrow, "nodes/op"),
+            );
+        }
         // Workload-level pass counts are positive and finite.
         for row in &rows {
             let passes = row

@@ -15,11 +15,12 @@
 //! * **R4 `sleep-as-sync`** — `thread::sleep` in `crates/` is forbidden
 //!   unless annotated `// lint: allow(thread_sleep)` (e.g. measured backoff,
 //!   test traffic shaping).
-//! * **R5 `unmetered-op`** — public methods of `Tree23` / `RecencyMap` in
+//! * **R5 `unmetered-op`** — public methods of `BTree` (alias `Tree23`) /
+//!   `RecencyMap` in
 //!   `crates/twothree` must route through the `cost` metering layer: a body
 //!   mentioning `touch` or `pass` (the two `cost::` entry points), or a call
 //!   chain reaching one — computed to fixpoint across the whole crate, with
-//!   `Node` (where the per-node charging lives) contributing metered names —
+//!   `Node`/`Arena` (where the per-node charging lives) contributing metered names —
 //!   or carry `// lint: allow(unmetered)` with a reason.
 //!
 //! Analysis is token-level, not a full parse: comments and string/char
@@ -435,9 +436,10 @@ fn rule_no_sleep(file: &SourceFile, masked: &str, out: &mut Vec<Violation>) {
     }
 }
 
-/// R5: public `Tree23`/`RecencyMap` methods route through the `cost`
+/// R5: public `BTree` (alias `Tree23`) / `RecencyMap` methods route through
+/// the `cost`
 /// metering layer.  The fixpoint is **crate-global**: `Node` (where the
-/// actual per-node `touch` charging lives) and the two public types are
+/// actual per-node `touch` charging lives, now `Arena`) and the public types are
 /// gathered across every `crates/twothree` file, seeded with bodies that
 /// mention `touch` or `pass` (the two `cost::` entry points), and closed
 /// over `.name(` / `Self::name(` / `Node::name(` calls by method name.
@@ -454,14 +456,14 @@ fn rule_metered_global(files: &[(&SourceFile, String)], out: &mut Vec<Violation>
         if !file.in_dir("crates/twothree/") {
             continue;
         }
-        for m in collect_impl_methods(masked, &["Tree23", "RecencyMap"]) {
+        for m in collect_impl_methods(masked, &["Tree23", "BTree", "RecencyMap"]) {
             sites.push(Site {
                 file,
                 method: m,
                 report: true,
             });
         }
-        for m in collect_impl_methods(masked, &["Node"]) {
+        for m in collect_impl_methods(masked, &["Node", "Arena"]) {
             sites.push(Site {
                 file,
                 method: m,

@@ -26,6 +26,14 @@ use wsm_sort::{pesort_group_into, GroupedBatch, SortScratch};
 use wsm_twothree::cost::{self as tcost, Charge};
 use wsm_twothree::RecencyMap;
 
+/// The fanout of the segment trees (all segments are built through
+/// [`RecencyMap::new`], which reads `WSM_TREE_FANOUT`), threaded into every
+/// measured charge so the Lemma bounds are the ones of the tree actually
+/// running — `2` reproduces the closed-form Appendix A.2 reference.
+fn tree_fanout() -> u64 {
+    wsm_twothree::default_fanout() as u64
+}
+
 /// Statistics recorded for every cut batch M1 processes.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BatchStats {
@@ -115,7 +123,7 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
     /// Total worst-case work (the closed-form Appendix A.2 bounds) for every
     /// charge this map has paid.  [`BatchedMap::effective_work`] reports the
     /// measured touched-node work, which is at most this (up to
-    /// [`tcost::MEASURED_CEILING`], asserted in debug builds).
+    /// [`tcost::measured_ceiling`], asserted in debug builds).
     pub fn analytic_bound_work(&self) -> u64 {
         self.bound_work
     }
@@ -241,7 +249,7 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
             let seg = &mut self.segments[k];
             let keys: &[K] = &self.key_buf;
             let (removed, touched) = tcost::metered(|| seg.remove_batch(keys));
-            cost += tcost::batch_op_charge(touched, keys.len() as u64, seg_len);
+            cost += tcost::batch_op_charge(touched, keys.len() as u64, seg_len, tree_fanout());
 
             let mut shift: Vec<(K, V)> = Vec::new();
             let mut write = 0;
@@ -274,7 +282,7 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
                 let dest_len = self.segments[dest].len() as u64 + shift_len;
                 let dest_seg = &mut self.segments[dest];
                 let ((), touched) = tcost::metered(|| dest_seg.push_front_batch(shift));
-                cost += tcost::batch_op_charge(touched, shift_len, dest_len);
+                cost += tcost::batch_op_charge(touched, shift_len, dest_len, tree_fanout());
             }
             cost += self.restore_prefixes(k);
             k += 1;
@@ -322,7 +330,7 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
         let ((), touched) = tcost::metered(|| mv(prev, next, count));
         // The receiving segment grows to its size + count during the insert
         // half of the transfer, so the bound covers the final size.
-        tcost::transfer_charge(touched, count as u64, larger + count as u64)
+        tcost::transfer_charge(touched, count as u64, larger + count as u64, tree_fanout())
     }
 
     /// Total capacity of segments `S[0..i-1]` (saturating).
@@ -390,7 +398,7 @@ impl<K: Ord + Clone + Send + Sync, V: Clone> M1<K, V> {
         let seg_len = self.segments[l].len() as u64 + items_len;
         let seg = &mut self.segments[l];
         let ((), touched) = tcost::metered(|| seg.push_back_batch(items));
-        cost += tcost::batch_op_charge(touched, items_len, seg_len);
+        cost += tcost::batch_op_charge(touched, items_len, seg_len, tree_fanout());
         while self.segments[l].len() as u64 > segment_capacity(l as u32) {
             let excess = (self.segments[l].len() as u64 - segment_capacity(l as u32)) as usize;
             let larger = self.segments[l].len() as u64;
@@ -660,10 +668,21 @@ mod tests {
         let work_before = m.effective_work();
         m.run_ops(cold.iter().map(|&k| search(k)).collect());
         let cold_work = m.effective_work() - work_before;
-        assert!(
-            hot_work * 2 < cold_work,
-            "hot batch work {hot_work} should be well below cold batch work {cold_work}"
-        );
+        // Wide fanouts flatten every segment tree, so the absolute depth gap
+        // between front and back segments shrinks with log_2(min_children).
+        // Keep the strict 2x margin on the analytic B=2 instantiation and
+        // require a plain gap elsewhere.
+        if wsm_twothree::default_fanout() == 2 {
+            assert!(
+                hot_work * 2 < cold_work,
+                "hot batch work {hot_work} should be well below cold batch work {cold_work}"
+            );
+        } else {
+            assert!(
+                hot_work < cold_work,
+                "hot batch work {hot_work} should be below cold batch work {cold_work}"
+            );
+        }
     }
 
     #[test]

@@ -39,6 +39,14 @@ use wsm_sort::{pesort_group_into, GroupedBatch, SortScratch};
 use wsm_twothree::cost::{self as tcost, Charge};
 use wsm_twothree::{RecencyMap, Tree23};
 
+/// The fanout of the segment trees and the filter (all built at the process
+/// default, which reads `WSM_TREE_FANOUT`), threaded into every measured
+/// charge so the Lemma bounds are the ones of the tree actually running —
+/// `2` reproduces the closed-form Appendix A.2 reference.
+fn tree_fanout() -> u64 {
+    wsm_twothree::default_fanout() as u64
+}
+
 /// Latency record for one operation: virtual submit and finish times in the
 /// pipeline simulation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -186,7 +194,7 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
     /// Total worst-case work (the closed-form Appendix A.2 bounds) for every
     /// charge this map has paid; [`BatchedMap::effective_work`] reports the
     /// measured touched-node work, which is at most this (up to
-    /// [`tcost::MEASURED_CEILING`], asserted in debug builds).
+    /// [`tcost::measured_ceiling`], asserted in debug builds).
     pub fn analytic_bound_work(&self) -> u64 {
         self.bound_work
     }
@@ -423,7 +431,7 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
             let seg = &mut self.segments[k];
             let keys: &[K] = &self.key_buf;
             let (removed, touched) = tcost::metered(|| seg.remove_batch(keys));
-            cost += tcost::batch_op_charge(touched, keys.len() as u64, seg_len);
+            cost += tcost::batch_op_charge(touched, keys.len() as u64, seg_len, tree_fanout());
             let mut shift: Vec<(K, V)> = Vec::new();
             let mut remaining: Vec<GroupOp<K, V>> = Vec::new();
             for (group, found) in groups.into_iter().zip(removed) {
@@ -447,7 +455,7 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
                 let dest_len = self.segments[dest].len() as u64 + shift_len;
                 let dest_seg = &mut self.segments[dest];
                 let ((), touched) = tcost::metered(|| dest_seg.push_front_batch(shift));
-                cost += tcost::batch_op_charge(touched, shift_len, dest_len);
+                cost += tcost::batch_op_charge(touched, shift_len, dest_len, tree_fanout());
             }
             // Restore the prefix capacity invariant inside the first slab only
             // (holes accumulate in S[m-1]; S[m]'s maintenance run refills
@@ -505,7 +513,7 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
                 }
                 new_tokens
             });
-            cost += tcost::batch_op_charge(touched, group_count, filter_len);
+            cost += tcost::batch_op_charge(touched, group_count, filter_len, tree_fanout());
             if !new_tokens.is_empty() {
                 self.ensure_final_slab_state();
                 let ready_at = self.interface_clock.max(self.virtual_now());
@@ -637,7 +645,7 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
         let seg_len = self.segments[k].len() as u64;
         let seg = &mut self.segments[k];
         let (removed, touched) = tcost::metered(|| seg.remove_batch(&keys));
-        cost += tcost::batch_op_charge(touched, keys.len() as u64, seg_len);
+        cost += tcost::batch_op_charge(touched, keys.len() as u64, seg_len, tree_fanout());
 
         // m' = min(k-1, m): where accessed (and newly inserted) items go.
         let dest = (k - 1).min(self.m);
@@ -650,7 +658,11 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
                     let filter = &mut self.filter;
                     let (ops, touched) = tcost::metered(|| filter.remove(&token.key));
                     let ops = ops.expect("in-flight item must have a filter entry");
-                    cost += tcost::single_op_charge(touched, self.filter.len() as u64 + 1);
+                    cost += tcost::single_op_charge(
+                        touched,
+                        self.filter.len() as u64 + 1,
+                        tree_fanout(),
+                    );
                     let group = GroupOp {
                         key: token.key.clone(),
                         ops,
@@ -667,7 +679,11 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
                     let filter = &mut self.filter;
                     let (ops, touched) = tcost::metered(|| filter.remove(&token.key));
                     let ops = ops.expect("in-flight item must have a filter entry");
-                    cost += tcost::single_op_charge(touched, self.filter.len() as u64 + 1);
+                    cost += tcost::single_op_charge(
+                        touched,
+                        self.filter.len() as u64 + 1,
+                        tree_fanout(),
+                    );
                     let group = GroupOp {
                         key: token.key.clone(),
                         ops,
@@ -691,7 +707,7 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
             let dest_len = self.segments[dest].len() as u64 + front_len;
             let dest_seg = &mut self.segments[dest];
             let ((), touched) = tcost::metered(|| dest_seg.push_front_batch(front_inserts));
-            cost += tcost::batch_op_charge(touched, front_len, dest_len);
+            cost += tcost::batch_op_charge(touched, front_len, dest_len, tree_fanout());
         }
 
         // Steps 4g/4h: rebalance with the previous segment.
@@ -798,7 +814,7 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
         let ((), touched) = tcost::metered(|| mv(prev, next, count));
         // The receiving segment grows to its size + count during the insert
         // half of the transfer, so the bound covers the final size.
-        tcost::transfer_charge(touched, count as u64, larger + count as u64)
+        tcost::transfer_charge(touched, count as u64, larger + count as u64, tree_fanout())
     }
 
     // ------------------------------------------------------------------
@@ -858,7 +874,7 @@ impl<K: Ord + Clone + Send + Sync + std::fmt::Debug, V: Clone> M2<K, V> {
         let seg_len = self.segments[l].len() as u64 + items_len;
         let seg = &mut self.segments[l];
         let ((), touched) = tcost::metered(|| seg.push_back_batch(items));
-        cost += tcost::batch_op_charge(touched, items_len, seg_len);
+        cost += tcost::batch_op_charge(touched, items_len, seg_len, tree_fanout());
         while self.segments[l].len() as u64 > segment_capacity(l as u32) {
             let excess = (self.segments[l].len() as u64 - segment_capacity(l as u32)) as usize;
             let larger = self.segments[l].len() as u64;

@@ -13,9 +13,19 @@
 //! work instead of the closed-form worst case.  The `par_*` variants count on
 //! whichever worker thread performs each half, so only the sequential paths
 //! (the ones the analytic charging uses) have exact per-call counts.
+//!
+//! Since the arena rewrite a tree owns its node slab, so the parallel
+//! variants cannot hand two halves of one arena to two threads.  They
+//! *partition* instead: split the tree at the batch midpoint, move the right
+//! part into its own fresh arena (`Arena::extract`, O(size of that part)),
+//! recurse on the now-independent trees, and splice the right arena back
+//! (`Arena::absorb`) on the way out.  That repartitioning costs
+//! `O(n log(b / grain))` slab moves on top of the D&C itself — these are the
+//! bulk-throughput entry points used above `PAR_GRAIN`, not the analytically
+//! charged paths, which all go through the sequential variants.
 
 use crate::cost::pass;
-use crate::node::Node;
+use crate::node::{Arena, NIL};
 use crate::tree::Tree23;
 
 /// Minimum batch size before the parallel variants split work across rayon.
@@ -24,10 +34,9 @@ pub const PAR_GRAIN: usize = 256;
 /// Batches at or below this size are executed as a loop of in-place point
 /// operations instead of the divide-and-conquer split/join recursion.  Both
 /// cost `Θ(b log n)` work, but the point loop touches only the search paths
-/// and allocates only on actual node splits, where split/join rebuilds (and
-/// reallocates) entire spines — a large constant factor on the small batches
-/// that dominate the working-set maps' segment cascade (ROADMAP
-/// "`tcost::batch_op` constants").
+/// and allocates only on actual node splits, where split/join rebuilds entire
+/// spines — a large constant factor on the small batches that dominate the
+/// working-set maps' segment cascade (ROADMAP "`tcost::batch_op` constants").
 pub const POINT_BATCH: usize = 32;
 
 impl<K: Ord + Clone, V> Tree23<K, V> {
@@ -49,8 +58,7 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
             return keys.iter().map(|k| self.remove(k)).collect();
         }
         pass();
-        let root = self.root.take();
-        let (root, removed) = batch_remove_node(root, keys);
+        let (root, removed) = batch_remove_node(&mut self.arena, self.root, keys);
         self.root = root;
         removed.into_iter().map(|r| r.map(|(_, v)| v)).collect()
     }
@@ -66,8 +74,7 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
             return items.into_iter().map(|(k, v)| self.insert(k, v)).collect();
         }
         pass();
-        let root = self.root.take();
-        let (root, replaced) = batch_insert_node(root, items);
+        let (root, replaced) = batch_insert_node(&mut self.arena, self.root, items);
         self.root = root;
         replaced
     }
@@ -83,10 +90,41 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
                 .collect();
         }
         pass();
-        let root = self.root.take();
-        let (root, removed) = batch_remove_node(root, keys);
+        let (root, removed) = batch_remove_node(&mut self.arena, self.root, keys);
         self.root = root;
         removed
+    }
+
+    /// Detaches everything with key `>= key` into its own tree (exact match
+    /// included), without registering a pass — internal partition primitive
+    /// of the parallel paths; the public entry points charge the pass.
+    fn partition_at(&mut self, key: &K) -> Tree23<K, V> {
+        let mut right = Self::with_fanout(self.arena.fanout());
+        if self.root == NIL {
+            return right;
+        }
+        let (l, found, r) = self.arena.split_at_key(self.root, key);
+        self.root = l;
+        let mut right_root = if r == NIL {
+            NIL
+        } else {
+            self.arena.extract(r, &mut right.arena)
+        };
+        if let Some((k, v)) = found {
+            // The boundary item belongs to the right part, whose recursion
+            // owns (and reports) the boundary key.
+            let leaf = right.arena.leaf(k, v);
+            right_root = right.arena.join_opt(leaf, right_root);
+        }
+        right.root = right_root;
+        right
+    }
+
+    /// Splices a partitioned-off greater tree back, without a pass.
+    fn reabsorb(&mut self, greater: Tree23<K, V>) {
+        let Tree23 { arena, root } = greater;
+        let r = self.arena.absorb(arena, root);
+        self.root = self.arena.join_opt(self.root, r);
     }
 }
 
@@ -107,142 +145,144 @@ impl<K: Ord + Clone + Send + Sync, V: Send + Sync> Tree23<K, V> {
             "batch must be sorted with distinct keys"
         );
         pass();
-        let root = self.root.take();
-        let (root, replaced) = par_batch_insert_node(root, items);
-        self.root = root;
-        replaced
+        par_batch_insert_tree(self, items)
     }
 
     /// Parallel variant of [`Tree23::batch_remove`].
     pub fn par_batch_remove(&mut self, keys: &[K]) -> Vec<Option<(K, V)>> {
         debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "batch must be sorted");
         pass();
-        let root = self.root.take();
-        let (root, removed) = par_batch_remove_node(root, keys);
-        self.root = root;
-        removed
+        par_batch_remove_tree(self, keys)
     }
 }
 
-type InsertOut<K, V> = (Option<Node<K, V>>, Vec<Option<V>>);
-type RemoveOut<K, V> = (Option<Node<K, V>>, Vec<Option<(K, V)>>);
+type InsertOut<V> = (usize, Vec<Option<V>>);
+type RemoveOut<K, V> = (usize, Vec<Option<(K, V)>>);
 
 fn batch_insert_node<K: Ord + Clone, V>(
-    t: Option<Node<K, V>>,
+    arena: &mut Arena<K, V>,
+    t: usize,
     mut items: Vec<(K, V)>,
-) -> InsertOut<K, V> {
+) -> InsertOut<V> {
     match items.len() {
         0 => (t, Vec::new()),
         1 => {
             let (k, v) = items.pop().expect("one item");
-            let (left, found, right) = match t {
-                None => (None, None, None),
-                Some(t) => t.split_at_key(&k),
+            let (left, found, right) = if t == NIL {
+                (NIL, None, NIL)
+            } else {
+                arena.split_at_key(t, &k)
             };
-            let joined = Node::join_opt(Node::join_opt(left, Some(Node::leaf(k, v))), right);
+            let leaf = arena.leaf(k, v);
+            let left = arena.join_opt(left, leaf);
+            let joined = arena.join_opt(left, right);
             (joined, vec![found.map(|(_, v)| v)])
         }
         len => {
             let mid = len / 2;
             let mut right_items = items.split_off(mid);
             let (mid_k, mid_v) = right_items.remove(0);
-            let (left_t, found, right_t) = match t {
-                None => (None, None, None),
-                Some(t) => t.split_at_key(&mid_k),
+            let (left_t, found, right_t) = if t == NIL {
+                (NIL, None, NIL)
+            } else {
+                arena.split_at_key(t, &mid_k)
             };
-            let (left_t, mut out) = batch_insert_node(left_t, items);
+            let (left_t, mut out) = batch_insert_node(arena, left_t, items);
             out.push(found.map(|(_, v)| v));
-            let (right_t, right_out) = batch_insert_node(right_t, right_items);
+            let (right_t, right_out) = batch_insert_node(arena, right_t, right_items);
             out.extend(right_out);
-            let joined = Node::join_opt(
-                Node::join_opt(left_t, Some(Node::leaf(mid_k, mid_v))),
-                right_t,
-            );
+            let leaf = arena.leaf(mid_k, mid_v);
+            let left_t = arena.join_opt(left_t, leaf);
+            let joined = arena.join_opt(left_t, right_t);
             (joined, out)
         }
     }
 }
 
-fn par_batch_insert_node<K: Ord + Clone + Send + Sync, V: Send + Sync>(
-    t: Option<Node<K, V>>,
-    mut items: Vec<(K, V)>,
-) -> InsertOut<K, V> {
-    let len = items.len();
-    if len < PAR_GRAIN {
-        return batch_insert_node(t, items);
-    }
-    let mid = len / 2;
-    let mut right_items = items.split_off(mid);
-    let (mid_k, mid_v) = right_items.remove(0);
-    let (left_t, found, right_t) = match t {
-        None => (None, None, None),
-        Some(t) => t.split_at_key(&mid_k),
-    };
-    let ((left_t, mut out), (right_t, right_out)) = rayon::join(
-        || par_batch_insert_node(left_t, items),
-        || par_batch_insert_node(right_t, right_items),
-    );
-    out.push(found.map(|(_, v)| v));
-    // `out` currently holds left results followed by the mid result; fix the
-    // order so the mid result sits between left and right results.
-    // (push placed it at the end of the left results, which is exactly the
-    // right position because left results all precede the mid key.)
-    out.extend(right_out);
-    let joined = Node::join_opt(
-        Node::join_opt(left_t, Some(Node::leaf(mid_k, mid_v))),
-        right_t,
-    );
-    (joined, out)
-}
-
-fn batch_remove_node<K: Ord + Clone, V>(t: Option<Node<K, V>>, keys: &[K]) -> RemoveOut<K, V> {
+fn batch_remove_node<K: Ord + Clone, V>(
+    arena: &mut Arena<K, V>,
+    t: usize,
+    keys: &[K],
+) -> RemoveOut<K, V> {
     match keys.len() {
         0 => (t, Vec::new()),
         1 => {
             let k = &keys[0];
-            let (left, found, right) = match t {
-                None => (None, None, None),
-                Some(t) => t.split_at_key(k),
+            let (left, found, right) = if t == NIL {
+                (NIL, None, NIL)
+            } else {
+                arena.split_at_key(t, k)
             };
-            (Node::join_opt(left, right), vec![found])
+            (arena.join_opt(left, right), vec![found])
         }
         len => {
             let mid = len / 2;
             let mid_k = &keys[mid];
-            let (left_t, found, right_t) = match t {
-                None => (None, None, None),
-                Some(t) => t.split_at_key(mid_k),
+            let (left_t, found, right_t) = if t == NIL {
+                (NIL, None, NIL)
+            } else {
+                arena.split_at_key(t, mid_k)
             };
-            let (left_t, mut out) = batch_remove_node(left_t, &keys[..mid]);
+            let (left_t, mut out) = batch_remove_node(arena, left_t, &keys[..mid]);
             out.push(found);
-            let (right_t, right_out) = batch_remove_node(right_t, &keys[mid + 1..]);
+            let (right_t, right_out) = batch_remove_node(arena, right_t, &keys[mid + 1..]);
             out.extend(right_out);
-            (Node::join_opt(left_t, right_t), out)
+            (arena.join_opt(left_t, right_t), out)
         }
     }
 }
 
-fn par_batch_remove_node<K: Ord + Clone + Send + Sync, V: Send + Sync>(
-    t: Option<Node<K, V>>,
+fn par_batch_insert_tree<K: Ord + Clone + Send + Sync, V: Send + Sync>(
+    tree: &mut Tree23<K, V>,
+    items: Vec<(K, V)>,
+) -> Vec<Option<V>> {
+    let len = items.len();
+    if len < PAR_GRAIN {
+        let (root, out) = batch_insert_node(&mut tree.arena, tree.root, items);
+        tree.root = root;
+        return out;
+    }
+    let mut items = items;
+    let right_items = items.split_off(len / 2);
+    // Partition at the right half's first key; the boundary item (exact
+    // match included) lands in the right tree, whose recursion reports it.
+    let mut right_tree = tree.partition_at(&right_items[0].0);
+    let (mut out, right_out) = rayon::join(
+        || par_batch_insert_tree(tree, items),
+        || {
+            let out = par_batch_insert_tree(&mut right_tree, right_items);
+            (right_tree, out)
+        },
+    );
+    let (right_tree, right_out) = right_out;
+    out.extend(right_out);
+    tree.reabsorb(right_tree);
+    out
+}
+
+fn par_batch_remove_tree<K: Ord + Clone + Send + Sync, V: Send + Sync>(
+    tree: &mut Tree23<K, V>,
     keys: &[K],
-) -> RemoveOut<K, V> {
+) -> Vec<Option<(K, V)>> {
     let len = keys.len();
     if len < PAR_GRAIN {
-        return batch_remove_node(t, keys);
+        let (root, out) = batch_remove_node(&mut tree.arena, tree.root, keys);
+        tree.root = root;
+        return out;
     }
-    let mid = len / 2;
-    let mid_k = &keys[mid];
-    let (left_t, found, right_t) = match t {
-        None => (None, None, None),
-        Some(t) => t.split_at_key(mid_k),
-    };
-    let ((left_t, mut out), (right_t, right_out)) = rayon::join(
-        || par_batch_remove_node(left_t, &keys[..mid]),
-        || par_batch_remove_node(right_t, &keys[mid + 1..]),
+    let (left_keys, right_keys) = keys.split_at(len / 2);
+    let mut right_tree = tree.partition_at(&right_keys[0]);
+    let (mut out, right_out) = rayon::join(
+        || par_batch_remove_tree(tree, left_keys),
+        || {
+            let out = par_batch_remove_tree(&mut right_tree, right_keys);
+            (right_tree, out)
+        },
     );
-    out.push(found);
+    let (right_tree, right_out) = right_out;
     out.extend(right_out);
-    (Node::join_opt(left_t, right_t), out)
+    tree.reabsorb(right_tree);
+    out
 }
 
 #[cfg(test)]
@@ -258,14 +298,16 @@ mod tests {
 
     #[test]
     fn batch_insert_into_empty() {
-        let mut t: Tree23<u64, u64> = Tree23::new();
-        let items: Vec<(u64, u64)> = (0..100).map(|i| (i, i + 1000)).collect();
-        let replaced = t.batch_insert(items);
-        assert!(replaced.iter().all(Option::is_none));
-        assert_eq!(t.len(), 100);
-        t.check_invariants();
-        for i in 0..100u64 {
-            assert_eq!(t.get(&i), Some(&(i + 1000)));
+        for fanout in [2usize, 8, 16] {
+            let mut t: Tree23<u64, u64> = Tree23::with_fanout(fanout);
+            let items: Vec<(u64, u64)> = (0..100).map(|i| (i, i + 1000)).collect();
+            let replaced = t.batch_insert(items);
+            assert!(replaced.iter().all(Option::is_none));
+            assert_eq!(t.len(), 100);
+            t.check_invariants();
+            for i in 0..100u64 {
+                assert_eq!(t.get(&i), Some(&(i + 1000)));
+            }
         }
     }
 
@@ -288,18 +330,21 @@ mod tests {
 
     #[test]
     fn batch_remove_mixed_presence() {
-        let mut t: Tree23<u64, u64> = (0..100u64).map(|i| (i, i)).collect();
-        let keys = sorted_distinct((0..200).step_by(3).collect());
-        let removed = t.batch_remove(&keys);
-        for (k, r) in keys.iter().zip(&removed) {
-            if *k < 100 {
-                assert_eq!(*r, Some((*k, *k)));
-            } else {
-                assert_eq!(*r, None);
+        for fanout in [2usize, 8, 16] {
+            let mut t: Tree23<u64, u64> =
+                Tree23::from_sorted_with_fanout((0..100u64).map(|i| (i, i)).collect(), fanout);
+            let keys = sorted_distinct((0..200).step_by(3).collect());
+            let removed = t.batch_remove(&keys);
+            for (k, r) in keys.iter().zip(&removed) {
+                if *k < 100 {
+                    assert_eq!(*r, Some((*k, *k)));
+                } else {
+                    assert_eq!(*r, None);
+                }
             }
+            t.check_invariants();
+            assert_eq!(t.len(), 100 - keys.iter().filter(|&&k| k < 100).count());
         }
-        t.check_invariants();
-        assert_eq!(t.len(), 100 - keys.iter().filter(|&&k| k < 100).count());
     }
 
     #[test]
@@ -315,62 +360,81 @@ mod tests {
     #[test]
     fn batch_ops_match_btreemap_model() {
         // Deterministic pseudo-random mixed batches compared against BTreeMap.
-        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
-        let mut tree: Tree23<u64, u64> = Tree23::new();
-        let mut state = 0x9E3779B97F4A7C15u64;
-        let mut next = || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        for round in 0..30 {
-            let b = 1 + (next() % 64) as usize;
-            if round % 3 == 2 {
-                let keys = sorted_distinct((0..b).map(|_| next() % 256).collect());
-                let removed = tree.batch_remove(&keys);
-                for (k, r) in keys.iter().zip(removed) {
-                    assert_eq!(r.map(|(_, v)| v), model.remove(k));
+        for fanout in [2usize, 8, 16] {
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+            let mut tree: Tree23<u64, u64> = Tree23::with_fanout(fanout);
+            let mut state = 0x9E3779B97F4A7C15u64;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for round in 0..30 {
+                let b = 1 + (next() % 64) as usize;
+                if round % 3 == 2 {
+                    let keys = sorted_distinct((0..b).map(|_| next() % 256).collect());
+                    let removed = tree.batch_remove(&keys);
+                    for (k, r) in keys.iter().zip(removed) {
+                        assert_eq!(r.map(|(_, v)| v), model.remove(k));
+                    }
+                } else {
+                    let keys = sorted_distinct((0..b).map(|_| next() % 256).collect());
+                    let items: Vec<(u64, u64)> = keys.iter().map(|&k| (k, next())).collect();
+                    let replaced = tree.batch_insert(items.clone());
+                    for ((k, v), r) in items.iter().zip(replaced) {
+                        assert_eq!(r, model.insert(*k, *v));
+                    }
                 }
-            } else {
-                let keys = sorted_distinct((0..b).map(|_| next() % 256).collect());
-                let items: Vec<(u64, u64)> = keys.iter().map(|&k| (k, next())).collect();
-                let replaced = tree.batch_insert(items.clone());
-                for ((k, v), r) in items.iter().zip(replaced) {
-                    assert_eq!(r, model.insert(*k, *v));
-                }
+                tree.check_invariants();
+                assert_eq!(tree.len(), model.len());
             }
-            tree.check_invariants();
-            assert_eq!(tree.len(), model.len());
-        }
-        // Final content check.
-        for (k, v) in &model {
-            assert_eq!(tree.get(k), Some(v));
+            // Final content check.
+            for (k, v) in &model {
+                assert_eq!(tree.get(k), Some(v));
+            }
         }
     }
 
     #[test]
     fn par_variants_match_sequential() {
-        let items: Vec<(u64, u64)> = (0..5000u64).map(|i| (i * 2, i)).collect();
-        let mut seq_tree: Tree23<u64, u64> = Tree23::new();
-        let mut par_tree: Tree23<u64, u64> = Tree23::new();
-        assert_eq!(
-            seq_tree.batch_insert(items.clone()),
-            par_tree.par_batch_insert(items)
-        );
-        seq_tree.check_invariants();
-        par_tree.check_invariants();
+        for fanout in [2usize, 16] {
+            let items: Vec<(u64, u64)> = (0..5000u64).map(|i| (i * 2, i)).collect();
+            let mut seq_tree: Tree23<u64, u64> = Tree23::with_fanout(fanout);
+            let mut par_tree: Tree23<u64, u64> = Tree23::with_fanout(fanout);
+            assert_eq!(
+                seq_tree.batch_insert(items.clone()),
+                par_tree.par_batch_insert(items)
+            );
+            seq_tree.check_invariants();
+            par_tree.check_invariants();
 
-        let keys: Vec<u64> = (0..10000u64).collect();
-        assert_eq!(seq_tree.batch_get(&keys), par_tree.par_batch_get(&keys));
+            let keys: Vec<u64> = (0..10000u64).collect();
+            assert_eq!(seq_tree.batch_get(&keys), par_tree.par_batch_get(&keys));
 
-        let remove_keys: Vec<u64> = (0..10000u64).step_by(3).collect();
-        assert_eq!(
-            seq_tree.batch_remove(&remove_keys),
-            par_tree.par_batch_remove(&remove_keys)
-        );
-        assert_eq!(seq_tree.len(), par_tree.len());
-        par_tree.check_invariants();
+            let remove_keys: Vec<u64> = (0..10000u64).step_by(3).collect();
+            assert_eq!(
+                seq_tree.batch_remove(&remove_keys),
+                par_tree.par_batch_remove(&remove_keys)
+            );
+            assert_eq!(seq_tree.len(), par_tree.len());
+            par_tree.check_invariants();
+        }
+    }
+
+    #[test]
+    fn par_inserts_report_replacements_across_the_partition_boundary() {
+        // Regression for the partition-extract-merge path: an existing item
+        // that falls exactly on a partition boundary must still be reported
+        // as replaced by the chunk that owns it.
+        let mut t: Tree23<u64, u64> = (0..4096u64).map(|i| (i, i)).collect();
+        let items: Vec<(u64, u64)> = (0..4096u64).map(|i| (i, i + 1)).collect();
+        let replaced = t.par_batch_insert(items);
+        assert!(replaced
+            .iter()
+            .enumerate()
+            .all(|(i, r)| *r == Some(i as u64)));
+        t.check_invariants();
     }
 
     #[test]

@@ -31,8 +31,40 @@ use wsm_model::{ceil_log2, Cost};
 
 /// Cost of a single-item operation (search / insert / delete) on a tree of
 /// `n` items: `O(log n + 1)` work and span.
+///
+/// This is the closed-form Appendix A.2 bound for the 2-3 reference
+/// instantiation (`B = 2`); [`single_op_b`] parameterizes it by fanout and
+/// reduces to this exact function at `B = 2`.
 pub fn single_op(n: u64) -> Cost {
     let steps = u64::from(ceil_log2(n + 1)) + 1;
+    Cost::serial(steps)
+}
+
+/// Smallest `d` with `base^d >= x` (the fanout-aware analogue of
+/// `wsm_model::ceil_log2`; `base >= 2`).
+fn ceil_log_base(x: u64, base: u64) -> u64 {
+    debug_assert!(base >= 2);
+    let mut d = 0u64;
+    let mut p = 1u64;
+    while p < x {
+        p = p.saturating_mul(base);
+        d += 1;
+    }
+    d
+}
+
+/// Minimum children per internal node at fanout `B`: `max(2, B/2)` — the
+/// (a,b)-tree occupancy floor the arena enforces, and therefore the base of
+/// the height logarithm in every fanout-parameterized bound.
+pub fn min_children(fanout: u64) -> u64 {
+    (fanout / 2).max(2)
+}
+
+/// Fanout-parameterized [`single_op`]: a tree of `n` items with occupancy
+/// floor `min_children(fanout)` has height `<= log_min(n) + O(1)`, so a point
+/// operation visits that many nodes.  `single_op_b(n, 2) == single_op(n)`.
+pub fn single_op_b(n: u64, fanout: u64) -> Cost {
+    let steps = ceil_log_base(n + 1, min_children(fanout)) + 1;
     Cost::serial(steps)
 }
 
@@ -50,6 +82,21 @@ pub fn batch_op(b: u64, n: u64) -> Cost {
     Cost::new((b * logn + b).max(span), span)
 }
 
+/// Fanout-parameterized [`batch_op`]: the per-item tree walk shortens to
+/// `log_min(n)` (height at occupancy floor `min_children(fanout)`), while the
+/// batch term stays `log₂ b` — the divide-and-conquer always splits the batch
+/// at its midpoint regardless of node width.  `batch_op_b(b, n, 2) ==
+/// batch_op(b, n)`.
+pub fn batch_op_b(b: u64, n: u64, fanout: u64) -> Cost {
+    if b == 0 {
+        return Cost::ZERO;
+    }
+    let logn = ceil_log_base(n + 1, min_children(fanout)) + 1;
+    let logb = u64::from(ceil_log2(b + 1)) + 1;
+    let span = logb + logn;
+    Cost::new((b * logn + b).max(span), span)
+}
+
 /// Cost of a reverse-indexing operation of `b` direct pointers on a tree of
 /// `n` items (same bounds as a normal batch operation).
 pub fn reverse_index(b: u64, n: u64) -> Cost {
@@ -60,6 +107,11 @@ pub fn reverse_index(b: u64, n: u64) -> Cost {
 /// size is at most `n` (one take + one batch insert on trees of size ≤ n).
 pub fn transfer(k: u64, n: u64) -> Cost {
     batch_op(k, n).then(batch_op(k, n))
+}
+
+/// Fanout-parameterized [`transfer`]: two fanout-aware batch operations.
+pub fn transfer_b(k: u64, n: u64, fanout: u64) -> Cost {
+    batch_op_b(k, n, fanout).then(batch_op_b(k, n, fanout))
 }
 
 // ---------------------------------------------------------------------------
@@ -78,7 +130,30 @@ pub fn transfer(k: u64, n: u64) -> Cost {
 /// underflow repair measure up to `~2x` more on adversarial batch shapes
 /// (wide batches over small trees).  The old two-tree design (key-map plus a
 /// stamp-keyed recency tree) needed `4`.
+///
+/// This constant is the `B = 2` reference value; wider fanouts use
+/// [`measured_ceiling`], which is what the charge constructors consult.
 pub const MEASURED_CEILING: u64 = 3;
+
+/// The Lemma-ceiling constant at fanout `B`.
+///
+/// At `B = 2` this is [`MEASURED_CEILING`] (`3`), the measured single-tree
+/// constant of the 2-3 reference.  At wider fanouts the *bound* shrinks by
+/// `log₂ min_children(B)` (the height logarithm changes base) while the
+/// divide-and-conquer's split/join spine work per batch item shrinks more
+/// slowly (each split still rebuilds `O(height)` transient nodes on both
+/// sides of the cut), so the measured-over-bound constant is larger even
+/// though the absolute measured work is strictly smaller — which is the
+/// point of the refactor and what the E18 A/B rows demonstrate.  `5` covers
+/// the adversarial shapes (wide spread batches over small trees) with the
+/// same ~1.5x headroom the `B = 2` constant has.
+pub fn measured_ceiling(fanout: u64) -> u64 {
+    if min_children(fanout) <= 2 {
+        MEASURED_CEILING
+    } else {
+        5
+    }
+}
 
 thread_local! {
     static TOUCHED: Cell<u64> = const { Cell::new(0) };
@@ -183,12 +258,13 @@ impl std::ops::AddAssign for Charge {
 
 /// Builds the measured cost for an operation with analytic bound `bound`:
 /// the touched-node count as work (never below the span — even a cheap
-/// operation walks its own critical path) and the analytic span.
-fn measured_cost(touched: u64, bound: Cost, what: &str) -> Charge {
+/// operation walks its own critical path) and the analytic span.  `ceiling`
+/// is the fanout's Lemma-ceiling constant ([`measured_ceiling`]).
+fn measured_cost(touched: u64, bound: Cost, ceiling: u64, what: &str) -> Charge {
     debug_assert!(
-        touched <= MEASURED_CEILING * bound.work,
+        touched <= ceiling * bound.work,
         "{what}: measured {touched} touched nodes exceeds the Lemma ceiling \
-         {MEASURED_CEILING} x {} (Appendix A.2 bound violated)",
+         {ceiling} x {} (Appendix A.2 bound violated)",
         bound.work
     );
     Charge {
@@ -197,29 +273,46 @@ fn measured_cost(touched: u64, bound: Cost, what: &str) -> Charge {
     }
 }
 
-/// Measured charge for a single-item operation on a tree of `n` items.
-pub fn single_op_charge(touched: u64, n: u64) -> Charge {
-    measured_cost(touched, single_op(n), "single_op")
+/// Measured charge for a single-item operation on a tree of `n` items at
+/// fanout `fanout` (pass the tree's own fanout; `2` gives the closed-form
+/// Appendix A.2 reference bound).
+pub fn single_op_charge(touched: u64, n: u64, fanout: u64) -> Charge {
+    measured_cost(
+        touched,
+        single_op_b(n, fanout),
+        measured_ceiling(fanout),
+        "single_op",
+    )
 }
 
 /// Measured charge for a normal batch operation of `b` item-sorted operations
-/// on a tree of `n` items.  Zero-size batches are free.
-pub fn batch_op_charge(touched: u64, b: u64, n: u64) -> Charge {
+/// on a tree of `n` items at fanout `fanout`.  Zero-size batches are free.
+pub fn batch_op_charge(touched: u64, b: u64, n: u64, fanout: u64) -> Charge {
     if b == 0 {
         debug_assert_eq!(touched, 0, "an empty batch touched {touched} nodes");
         return Charge::ZERO;
     }
-    measured_cost(touched, batch_op(b, n), "batch_op")
+    measured_cost(
+        touched,
+        batch_op_b(b, n, fanout),
+        measured_ceiling(fanout),
+        "batch_op",
+    )
 }
 
 /// Measured charge for transferring `k` items between adjacent segments of
-/// total size at most `n`.
-pub fn transfer_charge(touched: u64, k: u64, n: u64) -> Charge {
+/// total size at most `n`, at fanout `fanout`.
+pub fn transfer_charge(touched: u64, k: u64, n: u64, fanout: u64) -> Charge {
     if k == 0 {
         debug_assert_eq!(touched, 0, "an empty transfer touched {touched} nodes");
         return Charge::ZERO;
     }
-    measured_cost(touched, transfer(k, n), "transfer")
+    measured_cost(
+        touched,
+        transfer_b(k, n, fanout),
+        measured_ceiling(fanout),
+        "transfer",
+    )
 }
 
 #[cfg(test)]
@@ -262,6 +355,35 @@ mod tests {
     #[test]
     fn transfer_is_two_batch_ops() {
         assert_eq!(transfer(8, 100).work, 2 * batch_op(8, 100).work);
+        assert_eq!(transfer_b(8, 100, 16).work, 2 * batch_op_b(8, 100, 16).work);
+    }
+
+    #[test]
+    fn fanout_two_bounds_match_the_closed_form() {
+        // B = 2 is the analytic reference: the parameterized bounds must
+        // reduce to the Appendix A.2 closed forms exactly.
+        for n in [0u64, 1, 2, 7, 64, 1 << 12, 1 << 20] {
+            assert_eq!(single_op_b(n, 2), single_op(n));
+            for b in [0u64, 1, 8, 64, 1000] {
+                assert_eq!(batch_op_b(b, n, 2), batch_op(b, n));
+                assert_eq!(transfer_b(b, n, 2), transfer(b, n));
+            }
+        }
+        assert_eq!(measured_ceiling(2), MEASURED_CEILING);
+    }
+
+    #[test]
+    fn wider_fanout_shrinks_the_bounds() {
+        // The height logarithm changes base from 2 to min_children(B), so
+        // both work and span drop as the fanout widens.
+        let n = 1 << 16;
+        assert!(single_op_b(n, 16).work < single_op(n).work);
+        assert!(batch_op_b(256, n, 16).work < batch_op(256, n).work);
+        assert!(batch_op_b(256, n, 16).span < batch_op(256, n).span);
+        assert!(batch_op_b(256, n, 8).work > batch_op_b(256, n, 16).work);
+        // Degenerate sizes stay well-formed.
+        assert_eq!(batch_op_b(0, n, 16), Cost::ZERO);
+        assert!(batch_op_b(1, 0, 16).work >= 1);
     }
 
     #[test]
@@ -272,10 +394,11 @@ mod tests {
         }
         // Diagnostic scans between metered sections must not leak in.
         let _ = m.items_in_recency_order();
+        let fan = m.fanout() as u64;
         let (_, touched) = metered(|| m.get(&7));
         assert!(touched >= 1, "a lookup touches at least the root path");
         assert!(
-            touched <= MEASURED_CEILING * single_op(64).work,
+            touched <= measured_ceiling(fan) * single_op_b(64, fan).work,
             "lookup touched {touched} nodes"
         );
         let (_, zero) = metered(|| ());
@@ -295,67 +418,73 @@ mod tests {
             state ^= state << 17;
             state
         };
-        let mut m: RecencyMap<u64, u64> = RecencyMap::new();
-        let mut present: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
-        for round in 0..60 {
-            let b = 1 + (next() % 120) as usize;
-            let n = m.len() as u64;
-            if round % 3 == 2 && !present.is_empty() {
-                // Sorted distinct removals (mix of hits and misses).
-                let mut keys: Vec<u64> = (0..b).map(|_| next() % 4096).collect();
-                keys.sort_unstable();
-                keys.dedup();
-                let (removed, touched) = metered(|| m.remove_batch(&keys));
-                let charge = batch_op_charge(touched, keys.len() as u64, n);
+        // Sweep the reference and the wide instantiations: the ceiling is
+        // fanout-aware and must hold for both.
+        for fan in [2usize, 8, 16] {
+            let mut m: RecencyMap<u64, u64> = RecencyMap::with_fanout(fan);
+            let fan = fan as u64;
+            let ceiling = measured_ceiling(fan);
+            let mut present: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+            for round in 0..60 {
+                let b = 1 + (next() % 120) as usize;
+                let n = m.len() as u64;
+                if round % 3 == 2 && !present.is_empty() {
+                    // Sorted distinct removals (mix of hits and misses).
+                    let mut keys: Vec<u64> = (0..b).map(|_| next() % 4096).collect();
+                    keys.sort_unstable();
+                    keys.dedup();
+                    let (removed, touched) = metered(|| m.remove_batch(&keys));
+                    let charge = batch_op_charge(touched, keys.len() as u64, n, fan);
+                    assert!(
+                        touched <= ceiling * charge.bound.work,
+                        "remove_batch b={} n={n} fan={fan}: touched {touched} > ceiling {}",
+                        keys.len(),
+                        ceiling * charge.bound.work
+                    );
+                    for (k, r) in keys.iter().zip(removed) {
+                        if r.is_some() {
+                            present.remove(k);
+                        }
+                    }
+                } else {
+                    // Fresh distinct inserts (the maps remove before re-insert).
+                    let mut items: Vec<(u64, u64)> = Vec::new();
+                    for _ in 0..b {
+                        let k = next() % 4096;
+                        if present.insert(k) {
+                            items.push((k, k));
+                        }
+                    }
+                    let len = items.len() as u64;
+                    let (_, touched) = metered(|| m.push_front_batch(items));
+                    // Insert bound on the final size, as the maps charge it.
+                    let charge = batch_op_charge(touched, len, n + len, fan);
+                    assert!(
+                        touched <= ceiling * charge.bound.work,
+                        "push_front_batch b={len} n={n} fan={fan}: touched {touched}"
+                    );
+                }
+                // Transfers: pop a random count off one end and re-insert.
+                let k = (next() % 40) as usize;
+                let larger = m.len() as u64;
+                let (moved, touched) = metered(|| m.take_back(k.min(m.len())));
+                let moved_len = moved.len();
+                for (key, _) in &moved {
+                    present.remove(key);
+                }
+                let charge = transfer_charge(touched, moved_len as u64, larger, fan);
                 assert!(
-                    touched <= MEASURED_CEILING * charge.bound.work,
-                    "remove_batch b={} n={n}: touched {touched} > ceiling {}",
-                    keys.len(),
-                    MEASURED_CEILING * charge.bound.work
+                    touched <= ceiling * charge.bound.work || moved_len == 0,
+                    "pop_back k={moved_len} n={larger} fan={fan}: touched {touched}"
                 );
-                for (k, r) in keys.iter().zip(removed) {
-                    if r.is_some() {
-                        present.remove(k);
+                for (key, _) in moved {
+                    if present.insert(key) {
+                        m.insert_back(key, key);
                     }
                 }
-            } else {
-                // Fresh distinct inserts (the maps remove before re-insert).
-                let mut items: Vec<(u64, u64)> = Vec::new();
-                for _ in 0..b {
-                    let k = next() % 4096;
-                    if present.insert(k) {
-                        items.push((k, k));
-                    }
-                }
-                let len = items.len() as u64;
-                let (_, touched) = metered(|| m.push_front_batch(items));
-                // Insert bound on the final size, as the maps charge it.
-                let charge = batch_op_charge(touched, len, n + len);
-                assert!(
-                    touched <= MEASURED_CEILING * charge.bound.work,
-                    "push_front_batch b={len} n={n}: touched {touched}"
-                );
             }
-            // Transfers: pop a random count off one end and re-insert.
-            let k = (next() % 40) as usize;
-            let larger = m.len() as u64;
-            let (moved, touched) = metered(|| m.take_back(k.min(m.len())));
-            let moved_len = moved.len();
-            for (key, _) in &moved {
-                present.remove(key);
-            }
-            let charge = transfer_charge(touched, moved_len as u64, larger);
-            assert!(
-                touched <= MEASURED_CEILING * charge.bound.work || moved_len == 0,
-                "pop_back k={moved_len} n={larger}: touched {touched}"
-            );
-            for (key, _) in moved {
-                if present.insert(key) {
-                    m.insert_back(key, key);
-                }
-            }
+            m.check_invariants();
         }
-        m.check_invariants();
     }
 
     #[test]
@@ -368,10 +497,59 @@ mod tests {
         m.push_back_batch(items);
         let keys: Vec<u64> = (0..64u64).collect();
         let (_, touched) = metered(|| m.remove_batch(&keys));
-        let bound = batch_op(64, 1024).work;
+        let bound = batch_op_b(64, 1024, m.fanout() as u64).work;
         assert!(
             touched < bound,
             "measured {touched} should beat the worst-case bound {bound}"
         );
+    }
+
+    #[test]
+    fn wide_fanout_touches_strictly_fewer_nodes_than_the_reference() {
+        // The fanout satellite regression (the `fused_ops_touch_strictly_
+        // fewer_nodes` pattern applied to B): at paper-shaped sizes the wide
+        // instantiation must visit strictly fewer tree nodes than the B = 2
+        // reference for point, batch and transfer shapes alike.
+        use crate::Tree23;
+        let build = |fan: usize| {
+            Tree23::from_sorted_with_fanout((0..4096u64).map(|i| (i, i)).collect(), fan)
+        };
+        let point = |fan: usize| {
+            let t = build(fan);
+            metered(|| {
+                for i in 0..64u64 {
+                    std::hint::black_box(t.get(&(i * 64)));
+                }
+            })
+            .1
+        };
+        let batch = |fan: usize| {
+            let mut t = build(fan);
+            let keys: Vec<u64> = (0..64u64).map(|i| i * 64).collect();
+            metered(|| t.batch_remove(&keys)).1
+        };
+        let transfer_shape = |fan: usize| {
+            let mut m: RecencyMap<u64, u64> = RecencyMap::with_fanout(fan);
+            m.push_back_batch((0..512u64).map(|i| (i, i)).collect());
+            let mut dst: RecencyMap<u64, u64> = RecencyMap::with_fanout(fan);
+            dst.push_back_batch((1000..1256u64).map(|i| (i, i)).collect());
+            metered(|| {
+                let moved = m.take_back(64);
+                dst.push_front_batch(moved);
+            })
+            .1
+        };
+        for (what, measure) in [
+            ("point gets", &point as &dyn Fn(usize) -> u64),
+            ("batch remove", &batch),
+            ("transfer", &transfer_shape),
+        ] {
+            let narrow = measure(2);
+            let wide = measure(16);
+            assert!(
+                wide < narrow,
+                "{what}: B=16 touched {wide} nodes, should be strictly below B=2's {narrow}"
+            );
+        }
     }
 }

@@ -1,10 +1,10 @@
-//! # wsm-twothree — batched parallel 2-3 tree
+//! # wsm-twothree — batched parallel fanout-B arena tree
 //!
 //! The working-set maps of the paper store every segment in a pair of
 //! balanced search trees (a *key-map* sorted by key and a *recency-map*
-//! sorted by recency), realised as **batched parallel 2-3 trees** in the style
-//! of Paul, Vishkin and Wagener (paper Appendix A.2).  A batched parallel 2-3
-//! tree supports, for an item-sorted batch of `b` operations on a tree of `n`
+//! sorted by recency), realised as **batched parallel balanced trees** in the
+//! style of Paul, Vishkin and Wagener (paper Appendix A.2).  Such a tree
+//! supports, for an item-sorted batch of `b` operations on a tree of `n`
 //! items:
 //!
 //! * a *normal batch operation* (searches / insertions / deletions) in
@@ -12,25 +12,48 @@
 //! * a *reverse-indexing operation* that converts direct pointers back into an
 //!   item-sorted batch within the same bounds.
 //!
+//! # Cache-conscious core
+//!
+//! The paper states its bounds for 2-3 trees, but nothing in the analysis
+//! forbids a wider node: any (a,b)-tree with `b >= 2a - 1` supports the same
+//! split/join/borrow/merge algebra.  Since the fanout generalization the tree
+//! here is [`BTree`]: nodes hold up to `B` children (`B = 16` by default,
+//! `WSM_TREE_FANOUT` to override), each internal node carries a **contiguous
+//! routing-key array** scanned linearly, and all nodes live in a slab arena
+//! (`Vec` + intrusive free list — the `recency.rs` arena idiom applied to
+//! tree nodes), so descending a level is an index hop into a dense slab
+//! rather than a pointer chase.  Height shrinks from `log₂ n` to
+//! `log_{B/2} n`, and with it every measured touched-node count and tree
+//! pass in the stack (E18 shows the drop; E17 re-checks the Lemma ceilings).
+//!
+//! `B = 2` instantiates exactly the 2-3 tree of Appendix A.2 (2..=3 children
+//! per node) and stays the **analytic reference**: the closed-form bounds in
+//! [`cost`] ([`cost::single_op`], [`cost::batch_op`], [`cost::transfer`]) are
+//! the paper's `B = 2` formulas, the fanout-parameterized `*_b` variants
+//! reduce to them at `B = 2`, and the Lemma-ceiling assertions are checked
+//! against the bound of whatever fanout a tree actually runs.
+//!
 //! This crate provides:
 //!
-//! * [`Tree23`] — a leaf-based 2-3 tree with join/split based single and batch
-//!   operations (batch get / insert / remove, split by rank, take-front/back),
-//!   parallelised with rayon above a grain size;
+//! * [`BTree`] (alias [`Tree23`]) — the leaf-based fanout-B arena tree with
+//!   join/split based single and batch operations (batch get / insert /
+//!   remove, split by rank, take-front/back), parallelised with rayon above
+//!   a grain size;
 //! * [`RecencyMap`] — the arena-fused key/recency map used by every segment
-//!   of M0, M1 and M2: one key-ordered [`Tree23`] over a slab arena whose
+//!   of M0, M1 and M2: one key-ordered [`BTree`] over a slab arena whose
 //!   slots carry an intrusive doubly-linked recency list, realising the
 //!   paper's cross-linked direct pointers without `unsafe`.  Every segment
 //!   operation drives **one** tree — half the tree passes of the old
-//!   stamp-keyed two-tree substitution on every path (one D&C sweep per
-//!   large batch, one point traversal per item on the small-batch point
-//!   loop) — within the same `Θ(b log n)` work / `O(log b + log n)` span
-//!   contract;
-//! * [`cost`] — the analytic cost formulas of Appendix A.2 used by the
+//!   stamp-keyed two-tree substitution on every path — within the same
+//!   `Θ(b log n)` work / `O(log b + log n)` span contract;
+//! * [`cost`] — the analytic cost formulas of Appendix A.2 (closed-form
+//!   `B = 2` plus the fanout-parameterized generalizations) used by the
 //!   instrumented map structures.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use std::sync::OnceLock;
 
 pub mod batch;
 pub mod cost;
@@ -39,4 +62,24 @@ pub mod recency;
 pub mod tree;
 
 pub use recency::RecencyMap;
-pub use tree::Tree23;
+pub use tree::{BTree, Tree23};
+
+/// The process-wide default tree fanout: `WSM_TREE_FANOUT` if set and valid
+/// (2..=64; warn-once on bad values), else 16.
+///
+/// `2` selects the 2-3 reference instantiation of paper Appendix A.2; the
+/// default `16` is the cache-conscious wide node (8..=16 children, one
+/// routing-key array per cache line or two).  Read once and cached for the
+/// lifetime of the process, like the other `WSM_*` knobs; per-tree overrides
+/// go through [`BTree::with_fanout`].
+pub fn default_fanout() -> usize {
+    static FANOUT: OnceLock<usize> = OnceLock::new();
+    *FANOUT.get_or_init(|| {
+        wsm_check::env::parse(
+            "WSM_TREE_FANOUT",
+            "a node fanout in 2..=64",
+            16usize,
+            |&b| (2..=64).contains(&b),
+        )
+    })
+}

@@ -1,508 +1,821 @@
-//! Internal node representation and the join/split primitives of the 2-3 tree.
+//! Arena-backed node layer of the fanout-B tree and its join/split primitives.
 //!
-//! The tree is leaf-based: every item lives in a leaf, internal nodes have two
-//! or three children of equal height and cache the subtree size and maximum
-//! key for routing.  All structural operations are expressed through `join`
-//! (concatenate two trees whose key ranges do not interleave) and `split`
-//! (cut a tree at a key or at a rank), the classic building blocks for batch
-//! parallel operations on balanced trees.
+//! The tree is leaf-based: every item lives in a leaf, internal nodes hold
+//! `min_children..=max_children` children of equal height together with a
+//! **contiguous routing-key array** (`keys[i]` is the maximum key of
+//! `children[i]`), so descending one level is a linear scan of one small key
+//! array instead of a pointer chase per comparison.  Nodes live in a slab
+//! [`Arena`] (the `recency.rs` arena idiom applied to tree nodes): a
+//! `Vec<Slot>` with an intrusive free list, and `usize` indices instead of
+//! owned boxes — structural operations move indices, not allocations.
+//!
+//! The occupancy bounds derive from the configured fanout `B`:
+//! `min_children = max(2, B/2)`, `max_children = max(3, B)`.  `B = 2` gives
+//! exactly the 2-3 tree of paper Appendix A.2 (2..=3 children), which stays
+//! as the analytic reference instantiation; `B = 8` gives 4..=8, `B = 16`
+//! (the default) gives 8..=16.  For every such pair `2·min - 1 <= max`, so
+//! the split/join/borrow/merge algebra is the classic (a,b)-tree algebra and
+//! underflow repair always terminates.  The root is exempt from the minimum
+//! (any root may have 2 children); every other internal node keeps
+//! `min..=max`.
+//!
+//! All structural operations are expressed through `join` (concatenate two
+//! trees whose key ranges do not interleave) and `split` (cut a tree at a key
+//! or at a rank), the classic building blocks for batch parallel operations
+//! on balanced trees.  Equal-height joins merge or evenly redistribute
+//! top-level children so no under-occupied node is ever buried inside a tree.
 //!
 //! Every recursion step of the structural operations calls
-//! [`crate::cost::touch`] once, so [`crate::cost::metered`] observes the
-//! number of nodes an operation *actually* visited — the measured side of the
-//! measured-vs-bound charge split in [`crate::cost`].  Whole root-originating
-//! traversals are counted separately as *passes* at the [`crate::Tree23`]
-//! entry points (`cost::tree_passes`), which is how E18 witnesses that the
-//! arena-fused recency map drives one pass per segment op.  Read-only
-//! diagnostic traversals (`for_each`, invariant checks) are deliberately
-//! uncounted by either counter.
+//! [`crate::cost::touch`] once **per node visited** — in-node work is O(B)
+//! and is the point of the layout (one cache-friendly sweep), while the
+//! measured cost model counts node visits, which is what shrinks by
+//! `~log₂ B` at wide fanouts.  Whole root-originating traversals are counted
+//! separately as *passes* at the [`crate::BTree`] entry points
+//! (`cost::tree_passes`).  Read-only diagnostic traversals (`for_each`,
+//! invariant checks) are deliberately uncounted by either counter.
 
 use crate::cost::touch;
 
-/// A node of the 2-3 tree: either a leaf holding an item or an internal node
-/// with 2–3 children of equal height.
+/// Null arena index: "no node" (empty tree, end of the free list).
+pub(crate) const NIL: usize = usize::MAX;
+
+/// One arena slot: a leaf item, an internal node, or a free-list link.
 #[derive(Clone, Debug)]
-pub(crate) enum Node<K, V> {
+pub(crate) enum Slot<K, V> {
+    Free { next: usize },
     Leaf { key: K, val: V },
-    Internal(Internal<K, V>),
+    Internal(Internal<K>),
 }
 
+/// An internal node: children indices plus the contiguous routing-key array
+/// (`keys[i]` = max key under `children[i]`), with cached height and size.
 #[derive(Clone, Debug)]
-pub(crate) struct Internal<K, V> {
+pub(crate) struct Internal<K> {
     pub height: usize,
     pub size: usize,
-    /// Maximum key in the subtree (used for routing searches and splits).
-    pub max: K,
-    pub children: Vec<Node<K, V>>,
+    pub keys: Vec<K>,
+    pub children: Vec<usize>,
 }
 
-impl<K: Ord + Clone, V> Node<K, V> {
-    pub fn leaf(key: K, val: V) -> Self {
-        Node::Leaf { key, val }
-    }
+/// The node slab: every node of one tree lives here, free slots are threaded
+/// into an intrusive free list, and the occupancy bounds of the configured
+/// fanout are carried alongside so structural ops can repair against them.
+#[derive(Clone, Debug)]
+pub(crate) struct Arena<K, V> {
+    slots: Vec<Slot<K, V>>,
+    free: usize,
+    min_c: usize,
+    max_c: usize,
+}
 
-    pub fn height(&self) -> usize {
-        match self {
-            Node::Leaf { .. } => 0,
-            Node::Internal(i) => i.height,
+impl<K: Ord + Clone, V> Arena<K, V> {
+    pub fn new(fanout: usize) -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: NIL,
+            min_c: (fanout / 2).max(2),
+            max_c: fanout.max(3),
         }
     }
 
-    pub fn size(&self) -> usize {
-        match self {
-            Node::Leaf { .. } => 1,
-            Node::Internal(i) => i.size,
+    /// The fanout this arena was configured with (`max_children`, with the
+    /// 2-3 instantiation reporting 2).
+    pub fn fanout(&self) -> usize {
+        if self.max_c == 3 && self.min_c == 2 {
+            2
+        } else {
+            self.max_c
         }
     }
 
-    pub fn max_key(&self) -> &K {
-        match self {
-            Node::Leaf { key, .. } => key,
-            Node::Internal(i) => &i.max,
+    // ------------------------------------------------------------------
+    // Slab primitives
+    // ------------------------------------------------------------------
+
+    fn alloc(&mut self, slot: Slot<K, V>) -> usize {
+        match self.free {
+            NIL => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+            idx => {
+                let Slot::Free { next } = self.slots[idx] else {
+                    unreachable!("free list visits a live slot")
+                };
+                self.free = next;
+                self.slots[idx] = slot;
+                idx
+            }
         }
     }
 
-    /// Builds an internal node from 2–3 children of equal height.
-    pub fn internal(children: Vec<Node<K, V>>) -> Self {
-        debug_assert!((2..=3).contains(&children.len()));
-        debug_assert!(children.windows(2).all(|w| w[0].height() == w[1].height()));
-        let height = children[0].height() + 1;
-        let size = children.iter().map(Node::size).sum();
-        let max = children.last().expect("non-empty").max_key().clone();
-        Node::Internal(Internal {
-            height,
-            size,
-            max,
+    /// Vacates a slot onto the free list, returning what it held.
+    fn take_slot(&mut self, idx: usize) -> Slot<K, V> {
+        let slot = std::mem::replace(&mut self.slots[idx], Slot::Free { next: self.free });
+        debug_assert!(!matches!(slot, Slot::Free { .. }), "double free of a slot");
+        self.free = idx;
+        slot
+    }
+
+    /// Allocates a new leaf.
+    pub fn leaf(&mut self, key: K, val: V) -> usize {
+        touch(1);
+        self.alloc(Slot::Leaf { key, val })
+    }
+
+    /// Frees a leaf slot, returning its item.
+    pub fn take_leaf(&mut self, idx: usize) -> (K, V) {
+        match self.take_slot(idx) {
+            Slot::Leaf { key, val } => (key, val),
+            _ => unreachable!("expected a leaf slot"),
+        }
+    }
+
+    /// Frees an internal slot, returning its node.
+    pub fn take_internal(&mut self, idx: usize) -> Internal<K> {
+        match self.take_slot(idx) {
+            Slot::Internal(int) => int,
+            _ => unreachable!("expected an internal slot"),
+        }
+    }
+
+    pub fn is_leaf(&self, idx: usize) -> bool {
+        matches!(self.slots[idx], Slot::Leaf { .. })
+    }
+
+    fn internal(&self, idx: usize) -> &Internal<K> {
+        match &self.slots[idx] {
+            Slot::Internal(int) => int,
+            _ => unreachable!("expected an internal node"),
+        }
+    }
+
+    fn internal_mut(&mut self, idx: usize) -> &mut Internal<K> {
+        match &mut self.slots[idx] {
+            Slot::Internal(int) => int,
+            _ => unreachable!("expected an internal node"),
+        }
+    }
+
+    pub fn height(&self, idx: usize) -> usize {
+        match &self.slots[idx] {
+            Slot::Leaf { .. } => 0,
+            Slot::Internal(int) => int.height,
+            Slot::Free { .. } => unreachable!("height of a free slot"),
+        }
+    }
+
+    pub fn size(&self, idx: usize) -> usize {
+        match &self.slots[idx] {
+            Slot::Leaf { .. } => 1,
+            Slot::Internal(int) => int.size,
+            Slot::Free { .. } => unreachable!("size of a free slot"),
+        }
+    }
+
+    pub fn max_key(&self, idx: usize) -> &K {
+        match &self.slots[idx] {
+            Slot::Leaf { key, .. } => key,
+            Slot::Internal(int) => int.keys.last().expect("internal node has children"),
+            Slot::Free { .. } => unreachable!("max_key of a free slot"),
+        }
+    }
+
+    pub fn children_len(&self, idx: usize) -> usize {
+        self.internal(idx).children.len()
+    }
+
+    /// Builds an internal node over `children` (equal heights, 2..=max).  A
+    /// node below `min_children` is permitted here because every node built
+    /// this way is (transiently) a root; attachment into a larger tree
+    /// repairs occupancy (see [`Arena::join`]).
+    pub fn make_internal(&mut self, children: Vec<usize>) -> usize {
+        touch(1);
+        debug_assert!((2..=self.max_c).contains(&children.len()));
+        let idx = self.alloc(Slot::Internal(Internal {
+            height: 0,
+            size: 0,
+            keys: Vec::new(),
             children,
-        })
+        }));
+        self.refresh(idx);
+        idx
     }
 
-    /// Builds one or two nodes from 2–4 children of equal height.
-    fn from_children(mut children: Vec<Node<K, V>>) -> (Node<K, V>, Option<Node<K, V>>) {
-        debug_assert!((2..=4).contains(&children.len()));
-        if children.len() <= 3 {
-            (Node::internal(children), None)
-        } else {
-            let right = children.split_off(2);
-            (Node::internal(children), Some(Node::internal(right)))
-        }
+    /// Recomputes the cached height/size and rebuilds the routing-key array
+    /// of an internal node from its children — O(B) per call, the in-node
+    /// cost unit of the wide layout.
+    fn refresh(&mut self, idx: usize) {
+        let children = std::mem::take(&mut self.internal_mut(idx).children);
+        debug_assert!(!children.is_empty());
+        let height = self.height(children[0]) + 1;
+        let size = children.iter().map(|&c| self.size(c)).sum();
+        let keys: Vec<K> = children.iter().map(|&c| self.max_key(c).clone()).collect();
+        let int = self.internal_mut(idx);
+        int.children = children;
+        int.height = height;
+        int.size = size;
+        int.keys = keys;
     }
 
-    /// Attaches tree `r` (strictly smaller height, keys all greater) to the
-    /// right spine of `l`.  Returns one or two nodes of `l`'s height.
-    fn attach_right(l: Node<K, V>, r: Node<K, V>) -> (Node<K, V>, Option<Node<K, V>>) {
-        debug_assert!(l.height() > r.height());
-        touch(1);
-        let Node::Internal(int) = l else {
-            unreachable!("attach_right target must be internal")
-        };
-        let mut children = int.children;
-        if int.height == r.height() + 1 {
-            children.push(r);
-        } else {
-            let last = children.pop().expect("internal node has children");
-            let (a, b) = Node::attach_right(last, r);
-            children.push(a);
-            if let Some(b) = b {
-                children.push(b);
-            }
-        }
-        Node::from_children(children)
-    }
+    // ------------------------------------------------------------------
+    // Point operations
+    // ------------------------------------------------------------------
 
-    /// Attaches tree `l` (strictly smaller height, keys all smaller) to the
-    /// left spine of `r`.  Returns one or two nodes of `r`'s height.
-    fn attach_left(l: Node<K, V>, r: Node<K, V>) -> (Node<K, V>, Option<Node<K, V>>) {
-        debug_assert!(r.height() > l.height());
-        touch(1);
-        let Node::Internal(int) = r else {
-            unreachable!("attach_left target must be internal")
-        };
-        let mut children = int.children;
-        if int.height == l.height() + 1 {
-            children.insert(0, l);
-        } else {
-            let first = children.remove(0);
-            let (a, b) = Node::attach_left(l, first);
-            if let Some(b) = b {
-                children.insert(0, b);
-            }
-            children.insert(0, a);
-        }
-        Node::from_children(children)
-    }
-
-    /// Joins two trees whose key ranges satisfy `max(l) <= min(r)` (callers
-    /// guarantee strict ordering for distinct keys).
-    pub fn join(l: Node<K, V>, r: Node<K, V>) -> Node<K, V> {
-        use std::cmp::Ordering::*;
-        touch(1);
-        match l.height().cmp(&r.height()) {
-            Equal => Node::internal(vec![l, r]),
-            Greater => {
-                let (a, b) = Node::attach_right(l, r);
-                match b {
-                    None => a,
-                    Some(b) => Node::internal(vec![a, b]),
+    /// Descends from `idx` to the leaf holding `key`, if present.  Linear
+    /// in-node routing scan; one touch per node visited.
+    fn find_leaf(&self, mut idx: usize, key: &K) -> Option<usize> {
+        loop {
+            touch(1);
+            match &self.slots[idx] {
+                Slot::Leaf { key: k, .. } => return (k == key).then_some(idx),
+                Slot::Internal(int) => {
+                    let pos = int.keys.iter().position(|m| key <= m)?;
+                    idx = int.children[pos];
                 }
-            }
-            Less => {
-                let (a, b) = Node::attach_left(l, r);
-                match b {
-                    None => a,
-                    Some(b) => Node::internal(vec![a, b]),
-                }
+                Slot::Free { .. } => unreachable!("search reached a free slot"),
             }
         }
     }
 
-    /// Joins two optional trees.
-    pub fn join_opt(l: Option<Node<K, V>>, r: Option<Node<K, V>>) -> Option<Node<K, V>> {
-        match (l, r) {
-            (None, r) => r,
-            (l, None) => l,
-            (Some(l), Some(r)) => Some(Node::join(l, r)),
+    pub fn get(&self, idx: usize, key: &K) -> Option<&V> {
+        let leaf = self.find_leaf(idx, key)?;
+        match &self.slots[leaf] {
+            Slot::Leaf { val, .. } => Some(val),
+            _ => unreachable!("find_leaf returns leaves"),
         }
     }
 
-    /// Splits the tree at `key`: everything with key `< key` goes left, an
-    /// exact match is returned separately, everything with key `> key` goes
-    /// right.
-    #[allow(clippy::type_complexity)]
-    pub fn split_at_key(self, key: &K) -> (Option<Node<K, V>>, Option<(K, V)>, Option<Node<K, V>>) {
-        touch(1);
-        match self {
-            Node::Leaf { key: k, val } => match key.cmp(&k) {
-                std::cmp::Ordering::Equal => (None, Some((k, val)), None),
-                std::cmp::Ordering::Less => (None, None, Some(Node::Leaf { key: k, val })),
-                std::cmp::Ordering::Greater => (Some(Node::Leaf { key: k, val }), None, None),
-            },
-            Node::Internal(int) => {
-                let children = int.children;
-                // Find the first child whose max key is >= key; if none, the
-                // key is larger than everything and the whole tree goes left.
-                let idx = children
-                    .iter()
-                    .position(|c| key <= c.max_key())
-                    .unwrap_or(children.len() - 1);
-                let mut left: Option<Node<K, V>> = None;
-                let mut right: Option<Node<K, V>> = None;
-                let mut found = None;
-                for (i, child) in children.into_iter().enumerate() {
-                    if i < idx {
-                        left = Node::join_opt(left, Some(child));
-                    } else if i == idx {
-                        let (l, f, r) = child.split_at_key(key);
-                        left = Node::join_opt(left, l);
-                        found = f;
-                        right = r;
-                    } else {
-                        right = Node::join_opt(right, Some(child));
+    pub fn get_mut(&mut self, idx: usize, key: &K) -> Option<&mut V> {
+        let leaf = self.find_leaf(idx, key)?;
+        match &mut self.slots[leaf] {
+            Slot::Leaf { val, .. } => Some(val),
+            _ => unreachable!("find_leaf returns leaves"),
+        }
+    }
+
+    /// The item with rank `rank` (0-based, key order) under `idx`.
+    pub fn select(&self, mut idx: usize, mut rank: usize) -> Option<(&K, &V)> {
+        if rank >= self.size(idx) {
+            return None;
+        }
+        loop {
+            touch(1);
+            match &self.slots[idx] {
+                Slot::Leaf { key, val } => return Some((key, val)),
+                Slot::Internal(int) => {
+                    let mut next = NIL;
+                    for &c in &int.children {
+                        let sz = self.size(c);
+                        if rank < sz {
+                            next = c;
+                            break;
+                        }
+                        rank -= sz;
                     }
+                    debug_assert_ne!(next, NIL, "rank under size must land in a child");
+                    idx = next;
                 }
-                (left, found, right)
+                Slot::Free { .. } => unreachable!("select reached a free slot"),
             }
         }
     }
 
-    /// Splits the tree by rank: the first `rank` items (in key order) go left,
-    /// the rest go right.
-    #[allow(clippy::type_complexity)]
-    pub fn split_at_rank(self, rank: usize) -> (Option<Node<K, V>>, Option<Node<K, V>>) {
+    /// In-place point insertion: one root-to-leaf traversal that splits
+    /// overfull nodes on the way back up.  Returns the previous value for
+    /// the key (if any) and, when this node overflowed, a new right sibling
+    /// of the same height that the caller must adopt.
+    pub fn insert_point(&mut self, idx: usize, key: K, val: V) -> (Option<V>, Option<usize>) {
         touch(1);
-        if rank == 0 {
-            return (None, Some(self));
-        }
-        if rank >= self.size() {
-            return (Some(self), None);
-        }
-        match self {
-            Node::Leaf { .. } => unreachable!("rank split inside a leaf is handled above"),
-            Node::Internal(int) => {
-                let mut remaining = rank;
-                let mut left: Option<Node<K, V>> = None;
-                let mut right: Option<Node<K, V>> = None;
-                for child in int.children {
-                    if remaining == 0 {
-                        right = Node::join_opt(right, Some(child));
-                    } else if remaining >= child.size() {
-                        remaining -= child.size();
-                        left = Node::join_opt(left, Some(child));
-                    } else {
-                        let (l, r) = child.split_at_rank(remaining);
-                        remaining = 0;
-                        left = Node::join_opt(left, l);
-                        right = Node::join_opt(right, r);
-                    }
-                }
-                (left, right)
-            }
-        }
-    }
-
-    /// Recomputes the cached size/max/height of an internal node from its
-    /// children (all ≤ 3 of them, so this is O(1)).
-    fn refresh(int: &mut Internal<K, V>) {
-        int.height = int.children[0].height() + 1;
-        int.size = int.children.iter().map(Node::size).sum();
-        int.max = int
-            .children
-            .last()
-            .expect("internal node has children")
-            .max_key()
-            .clone();
-    }
-
-    /// In-place point insertion: a single root-to-leaf traversal that splits
-    /// overfull nodes on the way back up.  Returns the previous value for the
-    /// key (if any) and, when this node overflowed, a new right sibling of
-    /// the same height that the caller must adopt.
-    ///
-    /// This is the constant-factor fast path behind [`crate::Tree23::insert`]:
-    /// unlike the split/join route it touches only the nodes on one spine and
-    /// allocates at most one child vector per split.
-    pub fn insert_point(&mut self, key: K, val: V) -> (Option<V>, Option<Node<K, V>>) {
-        touch(1);
-        match self {
-            Node::Leaf { key: k, val: v } => match key.cmp(k) {
+        match &mut self.slots[idx] {
+            Slot::Leaf { key: k, val: v } => match key.cmp(k) {
                 std::cmp::Ordering::Equal => (Some(std::mem::replace(v, val)), None),
                 std::cmp::Ordering::Less => {
-                    // The new leaf takes this position; the old leaf becomes
-                    // the right sibling the parent adopts.
-                    let old = std::mem::replace(self, Node::Leaf { key, val });
-                    (None, Some(old))
+                    // The new leaf takes this slot; the old item becomes the
+                    // right sibling the parent adopts.
+                    let old_key = std::mem::replace(k, key);
+                    let old_val = std::mem::replace(v, val);
+                    let sib = self.alloc(Slot::Leaf {
+                        key: old_key,
+                        val: old_val,
+                    });
+                    (None, Some(sib))
                 }
-                std::cmp::Ordering::Greater => (None, Some(Node::Leaf { key, val })),
+                std::cmp::Ordering::Greater => (None, Some(self.alloc(Slot::Leaf { key, val }))),
             },
-            Node::Internal(int) => {
-                let idx = int
-                    .children
+            Slot::Internal(int) => {
+                let pos = int
+                    .keys
                     .iter()
-                    .position(|c| &key <= c.max_key())
+                    .position(|m| &key <= m)
                     .unwrap_or(int.children.len() - 1);
-                let (prev, overflow) = int.children[idx].insert_point(key, val);
-                if let Some(sibling) = overflow {
-                    int.children.insert(idx + 1, sibling);
+                let child = int.children[pos];
+                let (prev, overflow) = self.insert_point(child, key, val);
+                if prev.is_some() {
+                    // Pure value replacement: no structural or key change
+                    // anywhere on the path, so the cached metadata is intact.
+                    debug_assert!(overflow.is_none());
+                    return (prev, None);
                 }
-                if int.children.len() > 3 {
-                    let right = int.children.split_off(2);
-                    Node::refresh(int);
-                    (prev, Some(Node::internal(right)))
+                if let Some(sib) = overflow {
+                    self.internal_mut(idx).children.insert(pos + 1, sib);
+                }
+                let overflow = if self.children_len(idx) > self.max_c {
+                    let keep = self.max_c.div_ceil(2);
+                    let right = self.internal_mut(idx).children.split_off(keep);
+                    let right = self.make_internal(right);
+                    Some(right)
                 } else {
-                    Node::refresh(int);
-                    (prev, None)
-                }
+                    None
+                };
+                self.refresh(idx);
+                (prev, overflow)
             }
+            Slot::Free { .. } => unreachable!("insert reached a free slot"),
         }
     }
 
-    /// In-place point removal from an internal node: a single root-to-leaf
-    /// traversal that repairs underfull children (borrow from or merge with a
-    /// sibling) on the way back up.  Returns the removed item.
+    /// In-place point removal from the internal node `idx`: one root-to-leaf
+    /// traversal that repairs underfull children (borrow from or merge with
+    /// a sibling) on the way back up.  Returns the removed item.
     ///
-    /// After the call this node may itself be left with a single child —
-    /// only the caller (the parent, or [`crate::Tree23::remove`] at the
-    /// root) can repair that, exactly as with the overflow of
-    /// [`Node::insert_point`].
-    pub fn remove_point(int: &mut Internal<K, V>, key: &K) -> Option<(K, V)> {
+    /// After the call `idx` may itself be below `min_children` — only the
+    /// caller (the parent, or [`crate::BTree::remove`] at the root) can
+    /// repair that, exactly as with the overflow of [`Arena::insert_point`].
+    pub fn remove_point(&mut self, idx: usize, key: &K) -> Option<(K, V)> {
         touch(1);
-        let idx = int.children.iter().position(|c| key <= c.max_key())?;
-        let removed = if matches!(&int.children[idx], Node::Leaf { .. }) {
-            match &int.children[idx] {
-                Node::Leaf { key: k, .. } if k == key => match int.children.remove(idx) {
-                    Node::Leaf { key, val } => Some((key, val)),
-                    Node::Internal(_) => unreachable!("matched a leaf"),
-                },
-                _ => None,
+        let int = self.internal(idx);
+        let pos = int.keys.iter().position(|m| key <= m)?;
+        let child = int.children[pos];
+        let removed = if self.is_leaf(child) {
+            if self.max_key(child) == key {
+                let int = self.internal_mut(idx);
+                int.children.remove(pos);
+                int.keys.remove(pos);
+                Some(self.take_leaf(child))
+            } else {
+                None
             }
         } else {
-            let Node::Internal(child) = &mut int.children[idx] else {
-                unreachable!("non-leaf child is internal")
-            };
-            let removed = Node::remove_point(child, key);
-            if removed.is_some() && child.children.len() < 2 {
-                Node::fix_underflow(int, idx);
+            let removed = self.remove_point(child, key);
+            if removed.is_some() && self.children_len(child) < self.min_c {
+                self.fix_underflow(idx, pos);
             }
             removed
         };
-        if removed.is_some() && !int.children.is_empty() {
-            Node::refresh(int);
+        if removed.is_some() && !self.internal(idx).children.is_empty() {
+            self.refresh(idx);
         }
         removed
     }
 
-    /// Repairs `int.children[idx]`, an internal child left with exactly one
-    /// grandchild: borrow a grandchild from an adjacent 3-child sibling, or
-    /// merge the lone grandchild into a 2-child sibling (dropping the child).
-    fn fix_underflow(int: &mut Internal<K, V>, idx: usize) {
+    /// Repairs `children[pos]` of `idx`, an internal child one below
+    /// `min_children`: borrow a grandchild from an adjacent sibling with
+    /// spare occupancy, or merge into that sibling (dropping the child).
+    /// `2·min - 1 <= max` for every fanout, so the merge never overflows.
+    fn fix_underflow(&mut self, idx: usize, pos: usize) {
         touch(1);
-        let sib_idx = if idx > 0 { idx - 1 } else { idx + 1 };
-        let lone = match &mut int.children[idx] {
-            Node::Internal(c) => c.children.pop().expect("underflowing child has one child"),
-            Node::Leaf { .. } => unreachable!("underflow is defined on internal children"),
+        let sib_pos = if pos > 0 { pos - 1 } else { pos + 1 };
+        let (child, sib) = {
+            let int = self.internal(idx);
+            (int.children[pos], int.children[sib_pos])
         };
-        let sibling_has_spare = match &int.children[sib_idx] {
-            Node::Internal(s) => s.children.len() == 3,
-            Node::Leaf { .. } => unreachable!("siblings have equal height"),
-        };
-        if sibling_has_spare {
-            let moved = match &mut int.children[sib_idx] {
-                Node::Internal(s) => {
-                    let moved = if sib_idx < idx {
-                        s.children.pop().expect("3 children")
-                    } else {
-                        s.children.remove(0)
-                    };
-                    Node::refresh(s);
-                    moved
-                }
-                Node::Leaf { .. } => unreachable!(),
+        if self.children_len(sib) > self.min_c {
+            // Borrow the adjacent grandchild.
+            let moved = if sib_pos < pos {
+                self.internal_mut(sib).children.pop().expect("spare child")
+            } else {
+                self.internal_mut(sib).children.remove(0)
             };
-            match &mut int.children[idx] {
-                Node::Internal(c) => {
-                    debug_assert!(c.children.is_empty());
-                    if sib_idx < idx {
-                        c.children.push(moved);
-                        c.children.push(lone);
-                    } else {
-                        c.children.push(lone);
-                        c.children.push(moved);
-                    }
-                    Node::refresh(c);
-                }
-                Node::Leaf { .. } => unreachable!(),
+            self.refresh(sib);
+            let c = self.internal_mut(child);
+            if sib_pos < pos {
+                c.children.insert(0, moved);
+            } else {
+                c.children.push(moved);
+            }
+            self.refresh(child);
+        } else {
+            // Merge the underfull child into the sibling.
+            let orphans = self.take_internal(child).children;
+            let s = self.internal_mut(sib);
+            if sib_pos < pos {
+                s.children.extend(orphans);
+            } else {
+                s.children.splice(0..0, orphans);
+            }
+            self.refresh(sib);
+            let int = self.internal_mut(idx);
+            int.children.remove(pos);
+            int.keys.remove(pos);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Join
+    // ------------------------------------------------------------------
+
+    /// Joins two trees whose key ranges satisfy `max(l) <= min(r)` (callers
+    /// guarantee strict ordering for distinct keys).  Returns the new root.
+    pub fn join(&mut self, l: usize, r: usize) -> usize {
+        use std::cmp::Ordering::*;
+        touch(1);
+        match self.height(l).cmp(&self.height(r)) {
+            Equal => self.join_equal(l, r),
+            Greater => match self.attach_right(l, r) {
+                None => l,
+                Some(b) => self.make_internal(vec![l, b]),
+            },
+            Less => match self.attach_left(l, r) {
+                None => r,
+                Some(a) => self.make_internal(vec![a, r]),
+            },
+        }
+    }
+
+    /// Joins two optional trees (NIL = empty).
+    pub fn join_opt(&mut self, l: usize, r: usize) -> usize {
+        if l == NIL {
+            return r;
+        }
+        if r == NIL {
+            return l;
+        }
+        self.join(l, r)
+    }
+
+    /// Equal-height join.  Merging the two top-level child lists (or evenly
+    /// redistributing when they exceed `max`) keeps every buried node at
+    /// `min..=max`; only the returned root may sit below `min`.
+    fn join_equal(&mut self, l: usize, r: usize) -> usize {
+        if self.is_leaf(l) {
+            return self.make_internal(vec![l, r]);
+        }
+        let total = self.children_len(l) + self.children_len(r);
+        if total <= self.max_c {
+            let orphans = self.take_internal(r).children;
+            self.internal_mut(l).children.extend(orphans);
+            self.refresh(l);
+            l
+        } else if self.children_len(l) < self.min_c || self.children_len(r) < self.min_c {
+            // total > max >= 2·min - 1, so an even split puts both halves at
+            // or above min.
+            let mut all = std::mem::take(&mut self.internal_mut(l).children);
+            let orphans = self.take_internal(r).children;
+            all.extend(orphans);
+            let right = all.split_off(total / 2);
+            self.internal_mut(l).children = all;
+            self.refresh(l);
+            let right = self.make_internal(right);
+            self.make_internal(vec![l, right])
+        } else {
+            self.make_internal(vec![l, r])
+        }
+    }
+
+    /// Attaches tree `r` (strictly smaller height, keys all greater) onto the
+    /// right spine of `l`.  Returns `l`'s overflow sibling, if it split.
+    fn attach_right(&mut self, l: usize, r: usize) -> Option<usize> {
+        touch(1);
+        debug_assert!(self.height(l) > self.height(r));
+        if self.height(l) == self.height(r) + 1 {
+            self.internal_mut(l).children.push(r);
+            if !self.is_leaf(r) && self.children_len(r) < self.min_c {
+                self.balance_edge(l, false);
             }
         } else {
-            match &mut int.children[sib_idx] {
-                Node::Internal(s) => {
-                    if sib_idx < idx {
-                        s.children.push(lone);
-                    } else {
-                        s.children.insert(0, lone);
-                    }
-                    Node::refresh(s);
-                }
-                Node::Leaf { .. } => unreachable!(),
+            let last = *self.internal(l).children.last().expect("internal node");
+            if let Some(b) = self.attach_right(last, r) {
+                self.internal_mut(l).children.push(b);
             }
-            int.children.remove(idx);
         }
+        let overflow = if self.children_len(l) > self.max_c {
+            let keep = self.max_c.div_ceil(2);
+            let right = self.internal_mut(l).children.split_off(keep);
+            Some(self.make_internal(right))
+        } else {
+            None
+        };
+        self.refresh(l);
+        overflow
     }
 
-    /// Looks up `key`, returning a reference to its value.
-    pub fn get<'a>(&'a self, key: &K) -> Option<&'a V> {
+    /// Attaches tree `l` (strictly smaller height, keys all smaller) onto the
+    /// left spine of `r`.  Returns `r`'s overflow *left* sibling, if it split.
+    fn attach_left(&mut self, l: usize, r: usize) -> Option<usize> {
         touch(1);
-        match self {
-            Node::Leaf { key: k, val } => (k == key).then_some(val),
-            Node::Internal(int) => {
-                let child = int.children.iter().find(|c| key <= c.max_key())?;
-                child.get(key)
+        debug_assert!(self.height(r) > self.height(l));
+        if self.height(r) == self.height(l) + 1 {
+            self.internal_mut(r).children.insert(0, l);
+            if !self.is_leaf(l) && self.children_len(l) < self.min_c {
+                self.balance_edge(r, true);
+            }
+        } else {
+            let first = self.internal(r).children[0];
+            if let Some(a) = self.attach_left(l, first) {
+                self.internal_mut(r).children.insert(0, a);
             }
         }
+        let overflow = if self.children_len(r) > self.max_c {
+            let keep = self.max_c.div_ceil(2);
+            // Keep the *right* part in place so `r` stays the spine node; the
+            // split-off left half becomes the overflow sibling.
+            let split_at = self.children_len(r) - keep;
+            let mut left = std::mem::take(&mut self.internal_mut(r).children);
+            let right = left.split_off(split_at);
+            self.internal_mut(r).children = right;
+            Some(self.make_internal(left))
+        } else {
+            None
+        };
+        self.refresh(r);
+        overflow
     }
 
-    /// Looks up `key`, returning a mutable reference to its value.
-    pub fn get_mut<'a>(&'a mut self, key: &K) -> Option<&'a mut V> {
+    /// Repairs the just-attached edge child of `idx` (`children[0]` when
+    /// `front`, else the last child), which may be an internal node below
+    /// `min_children`: merge it with its inner neighbour when they fit in
+    /// one node, otherwise redistribute evenly (both halves end `>= min`).
+    fn balance_edge(&mut self, idx: usize, front: bool) {
         touch(1);
-        match self {
-            Node::Leaf { key: k, val } => (k == key).then_some(val),
-            Node::Internal(int) => {
-                let child = int.children.iter_mut().find(|c| key <= c.max_key())?;
-                child.get_mut(key)
+        let n = self.children_len(idx);
+        debug_assert!(n >= 2, "attachment target keeps at least two children");
+        let (inner_pos, edge_pos) = if front { (1, 0) } else { (n - 2, n - 1) };
+        let (inner, edge) = {
+            let int = self.internal(idx);
+            (int.children[inner_pos], int.children[edge_pos])
+        };
+        let total = self.children_len(inner) + self.children_len(edge);
+        if total <= self.max_c {
+            let orphans = self.take_internal(edge).children;
+            let s = self.internal_mut(inner);
+            if front {
+                s.children.splice(0..0, orphans);
+            } else {
+                s.children.extend(orphans);
             }
+            self.refresh(inner);
+            self.internal_mut(idx).children.remove(edge_pos);
+        } else {
+            // Even redistribution across the pair; total > max >= 2·min - 1.
+            let give = total / 2 - self.children_len(edge);
+            for _ in 0..give {
+                let moved = if front {
+                    self.internal_mut(inner).children.remove(0)
+                } else {
+                    self.internal_mut(inner).children.pop().expect("spare")
+                };
+                let e = self.internal_mut(edge);
+                if front {
+                    e.children.push(moved);
+                } else {
+                    e.children.insert(0, moved);
+                }
+            }
+            self.refresh(inner);
+            self.refresh(edge);
         }
     }
 
-    /// The item with rank `idx` (0-based, in key order).
-    pub fn select(&self, idx: usize) -> Option<(&K, &V)> {
+    // ------------------------------------------------------------------
+    // Split
+    // ------------------------------------------------------------------
+
+    /// Groups a run of same-height siblings into a single (transient-root)
+    /// node: NIL for none, the child itself for one, else one internal node.
+    fn sub_node(&mut self, children: Vec<usize>) -> usize {
+        match children.len() {
+            0 => NIL,
+            1 => children[0],
+            _ => self.make_internal(children),
+        }
+    }
+
+    /// Splits the tree at `key`: everything `< key` goes left, an exact
+    /// match is returned separately, everything `> key` goes right.
+    pub fn split_at_key(&mut self, idx: usize, key: &K) -> (usize, Option<(K, V)>, usize) {
         touch(1);
-        if idx >= self.size() {
-            return None;
-        }
-        match self {
-            Node::Leaf { key, val } => Some((key, val)),
-            Node::Internal(int) => {
-                let mut idx = idx;
-                for child in &int.children {
-                    if idx < child.size() {
-                        return child.select(idx);
-                    }
-                    idx -= child.size();
+        if self.is_leaf(idx) {
+            return match key.cmp(self.max_key(idx)) {
+                std::cmp::Ordering::Equal => {
+                    let item = self.take_leaf(idx);
+                    (NIL, Some(item), NIL)
                 }
-                None
-            }
+                std::cmp::Ordering::Less => (NIL, None, idx),
+                std::cmp::Ordering::Greater => (idx, None, NIL),
+            };
         }
+        let int = self.take_internal(idx);
+        let pos = int
+            .keys
+            .iter()
+            .position(|m| key <= m)
+            .unwrap_or(int.children.len() - 1);
+        let mut children = int.children;
+        let suffix = children.split_off(pos + 1);
+        let at = children.pop().expect("pos is in range");
+        let left = self.sub_node(children);
+        let right_tail = self.sub_node(suffix);
+        let (l, found, r) = self.split_at_key(at, key);
+        let left = self.join_opt(left, l);
+        let right = self.join_opt(r, right_tail);
+        (left, found, right)
     }
 
-    /// In-order traversal into `out`.
-    pub fn collect_into(self, out: &mut Vec<(K, V)>) {
+    /// Splits the tree by rank: the first `rank` items (key order) go left,
+    /// the rest right.
+    pub fn split_at_rank(&mut self, idx: usize, rank: usize) -> (usize, usize) {
         touch(1);
-        match self {
-            Node::Leaf { key, val } => out.push((key, val)),
-            Node::Internal(int) => {
-                for child in int.children {
-                    child.collect_into(out);
-                }
-            }
+        if rank == 0 {
+            return (NIL, idx);
         }
+        if rank >= self.size(idx) {
+            return (idx, NIL);
+        }
+        // Neither 0 nor the full size, so idx cannot be a leaf.
+        let int = self.take_internal(idx);
+        let mut children = int.children;
+        let mut remaining = rank;
+        let mut pos = 0;
+        for (i, &c) in children.iter().enumerate() {
+            let sz = self.size(c);
+            if remaining < sz {
+                pos = i;
+                break;
+            }
+            remaining -= sz;
+        }
+        let suffix = children.split_off(pos + 1);
+        let at = children.pop().expect("pos is in range");
+        let left = self.sub_node(children);
+        let right_tail = self.sub_node(suffix);
+        let (l, r) = self.split_at_rank(at, remaining);
+        let left = self.join_opt(left, l);
+        let right = self.join_opt(r, right_tail);
+        (left, right)
     }
 
-    /// In-order traversal by reference.
-    pub fn for_each<'a, F: FnMut(&'a K, &'a V)>(&'a self, f: &mut F) {
-        match self {
-            Node::Leaf { key, val } => f(key, val),
-            Node::Internal(int) => {
-                for child in &int.children {
-                    child.for_each(f);
-                }
-            }
-        }
-    }
+    // ------------------------------------------------------------------
+    // Bulk build / drain / move
+    // ------------------------------------------------------------------
 
-    /// Builds a balanced tree from sorted, deduplicated items in O(n).
-    pub fn from_sorted(items: Vec<(K, V)>) -> Option<Node<K, V>> {
+    /// Builds a balanced tree from sorted, deduplicated items in O(n),
+    /// distributing each level's nodes evenly so every group lands in
+    /// `min..=max` (a single undersized group can only be the root).
+    pub fn build_sorted(&mut self, items: Vec<(K, V)>) -> usize {
         if items.is_empty() {
-            return None;
+            return NIL;
         }
         // A linear build touches every created leaf (internal nodes are a
         // constant fraction on top, folded into the ceiling).
         touch(items.len() as u64);
-        let mut level: Vec<Node<K, V>> = items.into_iter().map(|(k, v)| Node::leaf(k, v)).collect();
+        let mut level: Vec<usize> = items
+            .into_iter()
+            .map(|(k, v)| self.alloc(Slot::Leaf { key: k, val: v }))
+            .collect();
         while level.len() > 1 {
-            let mut next = Vec::with_capacity(level.len() / 2 + 1);
-            let mut iter = level.into_iter().peekable();
-            let mut pending: Vec<Node<K, V>> = Vec::with_capacity(3);
-            while let Some(node) = iter.next() {
-                pending.push(node);
-                let remaining_after = iter.len();
-                // Flush groups of 2, unless exactly one node would be left
-                // over (then hold out for a group of 3, keeping 2-3 children
-                // everywhere).
-                if (pending.len() == 2 && remaining_after != 1) || pending.len() == 3 {
-                    next.push(Node::internal(std::mem::take(&mut pending)));
-                }
+            let groups = level.len().div_ceil(self.max_c);
+            let base = level.len() / groups;
+            let extra = level.len() % groups;
+            let mut next = Vec::with_capacity(groups);
+            let mut iter = level.into_iter();
+            for g in 0..groups {
+                let take = base + usize::from(g < extra);
+                let children: Vec<usize> = iter.by_ref().take(take).collect();
+                next.push(self.make_internal(children));
             }
-            debug_assert!(pending.is_empty(), "grouping left a dangling child");
+            debug_assert!(iter.next().is_none(), "grouping left a dangling child");
             level = next;
         }
-        level.pop()
+        level.pop().expect("non-empty level")
     }
 
-    /// Validates the structural invariants of the 2-3 tree (used by tests).
-    /// Returns the height.
-    pub fn check_invariants(&self) -> usize
+    /// In-order traversal into `out`, freeing the visited slots.
+    pub fn collect_into(&mut self, idx: usize, out: &mut Vec<(K, V)>) {
+        touch(1);
+        match self.take_slot(idx) {
+            Slot::Leaf { key, val } => out.push((key, val)),
+            Slot::Internal(int) => {
+                for child in int.children {
+                    self.collect_into(child, out);
+                }
+            }
+            Slot::Free { .. } => unreachable!("collect reached a free slot"),
+        }
+    }
+
+    /// In-order traversal by reference (diagnostic; uncounted).
+    pub fn for_each<'a, F: FnMut(&'a K, &'a V)>(&'a self, idx: usize, f: &mut F) {
+        match &self.slots[idx] {
+            Slot::Leaf { key, val } => f(key, val),
+            Slot::Internal(int) => {
+                for &child in &int.children {
+                    self.for_each(child, f);
+                }
+            }
+            Slot::Free { .. } => unreachable!("for_each reached a free slot"),
+        }
+    }
+
+    /// Moves the subtree under `idx` into `dst` (freeing the source slots),
+    /// returning its root index in `dst`.  O(subtree size); this is the
+    /// repartition primitive behind the owned-split surface and the parallel
+    /// bulk paths, not an analytically charged operation.
+    pub fn extract(&mut self, idx: usize, dst: &mut Arena<K, V>) -> usize {
+        match self.take_slot(idx) {
+            Slot::Leaf { key, val } => dst.alloc(Slot::Leaf { key, val }),
+            Slot::Internal(int) => {
+                let children = int.children.iter().map(|&c| self.extract(c, dst)).collect();
+                dst.alloc(Slot::Internal(Internal {
+                    height: int.height,
+                    size: int.size,
+                    keys: int.keys,
+                    children,
+                }))
+            }
+            Slot::Free { .. } => unreachable!("extract reached a free slot"),
+        }
+    }
+
+    /// Appends every slot of `other` (live and free) into this arena with a
+    /// uniform index offset, returning `other_root` rebased.  O(slots of
+    /// `other`); both arenas must share a fanout.
+    pub fn absorb(&mut self, other: Arena<K, V>, other_root: usize) -> usize {
+        debug_assert_eq!(self.min_c, other.min_c, "fanout mismatch in absorb");
+        debug_assert_eq!(self.max_c, other.max_c, "fanout mismatch in absorb");
+        let offset = self.slots.len();
+        for mut slot in other.slots {
+            match &mut slot {
+                Slot::Free { next } => {
+                    if *next != NIL {
+                        *next += offset;
+                    }
+                }
+                Slot::Internal(int) => {
+                    for c in &mut int.children {
+                        *c += offset;
+                    }
+                }
+                Slot::Leaf { .. } => {}
+            }
+            self.slots.push(slot);
+        }
+        if other.free != NIL {
+            // Chain the rebased free list in front of ours.
+            let mut cur = other.free + offset;
+            loop {
+                let Slot::Free { next } = &mut self.slots[cur] else {
+                    unreachable!("free list visits a live slot")
+                };
+                if *next == NIL {
+                    *next = self.free;
+                    break;
+                }
+                cur = *next;
+            }
+            self.free = other.free + offset;
+        }
+        if other_root == NIL {
+            NIL
+        } else {
+            other_root + offset
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Invariants
+    // ------------------------------------------------------------------
+
+    /// Validates the structural invariants under `idx` (occupancy bounds,
+    /// routing keys, cached height/size, key order).  Returns `(height,
+    /// live node count)` so the caller can close the free-list accounting.
+    pub fn check_subtree(&self, idx: usize, is_root: bool) -> (usize, usize)
     where
         K: std::fmt::Debug,
     {
-        match self {
-            Node::Leaf { .. } => 0,
-            Node::Internal(int) => {
+        match &self.slots[idx] {
+            Slot::Leaf { .. } => (0, 1),
+            Slot::Internal(int) => {
+                let lo = if is_root { 2 } else { self.min_c };
                 assert!(
-                    (2..=3).contains(&int.children.len()),
-                    "internal node must have 2-3 children, has {}",
+                    (lo..=self.max_c).contains(&int.children.len()),
+                    "internal node must have {lo}..={} children, has {}",
+                    self.max_c,
                     int.children.len()
                 );
-                let heights: Vec<usize> =
-                    int.children.iter().map(|c| c.check_invariants()).collect();
+                assert_eq!(
+                    int.keys.len(),
+                    int.children.len(),
+                    "routing-key array out of step with children"
+                );
+                let mut nodes = 1usize;
+                let mut heights = Vec::with_capacity(int.children.len());
+                for (&c, k) in int.children.iter().zip(&int.keys) {
+                    let (h, n) = self.check_subtree(c, false);
+                    heights.push(h);
+                    nodes += n;
+                    assert_eq!(k, self.max_key(c), "routing key is not the child max");
+                }
                 assert!(
                     heights.windows(2).all(|w| w[0] == w[1]),
                     "children heights differ: {heights:?}"
@@ -510,23 +823,41 @@ impl<K: Ord + Clone, V> Node<K, V> {
                 assert_eq!(int.height, heights[0] + 1, "cached height wrong");
                 assert_eq!(
                     int.size,
-                    int.children.iter().map(Node::size).sum::<usize>(),
+                    int.children.iter().map(|&c| self.size(c)).sum::<usize>(),
                     "cached size wrong"
                 );
-                assert_eq!(
-                    &int.max,
-                    int.children.last().unwrap().max_key(),
-                    "cached max wrong"
+                assert!(
+                    int.keys.windows(2).all(|w| w[0] < w[1]),
+                    "routing keys out of order"
                 );
-                // Keys are ordered across children.
-                for w in int.children.windows(2) {
-                    assert!(
-                        w[0].max_key() <= w[1].max_key(),
-                        "child key ranges out of order"
-                    );
-                }
-                int.height
+                (int.height, nodes)
             }
+            Slot::Free { .. } => panic!("tree references free slot {idx}"),
         }
+    }
+
+    /// Validates the slab itself: every slot is reachable either from the
+    /// tree (`live` live nodes, counted by [`Arena::check_subtree`]) or from
+    /// the free list — no leaks, no cycles.
+    pub fn check_slab(&self, live: usize) {
+        let mut free_count = 0usize;
+        let mut cur = self.free;
+        while cur != NIL {
+            assert!(
+                free_count <= self.slots.len(),
+                "free list cycle at slot {cur}"
+            );
+            let Slot::Free { next } = &self.slots[cur] else {
+                panic!("free list visits live slot {cur}")
+            };
+            cur = *next;
+            free_count += 1;
+        }
+        assert_eq!(
+            live + free_count,
+            self.slots.len(),
+            "arena slot leak: {live} live + {free_count} free != {} slots",
+            self.slots.len()
+        );
     }
 }

@@ -1,78 +1,135 @@
-//! The public [`Tree23`] wrapper: a leaf-based 2-3 tree with single-item and
-//! structural (split/join/rank) operations.  Batch operations live in
-//! [`crate::batch`].
+//! The public tree surface: [`BTree`] (with [`Tree23`] kept as the alias the
+//! rest of the workspace was written against) plus single-item and structural
+//! (split/join/rank) operations.  Batch operations live in [`crate::batch`].
 
 use crate::cost::{pass, touch};
-use crate::node::Node;
+use crate::node::{Arena, NIL};
 
 /// Take-counts at or below this size use repeated point removals instead of
 /// a rank split: for tiny `k` the point path avoids the split/join spine
 /// rebuild entirely (see `batch::POINT_BATCH` for the same trade-off).
 const POINT_TAKE: usize = 8;
 
-/// A leaf-based 2-3 tree storing key-value items in key order.
+/// A leaf-based fanout-B search tree storing key-value items in key order.
 ///
-/// `Tree23` is the balanced-search-tree substrate of every segment of the
-/// working-set maps (paper Appendix A.2).  It is an ordinary ordered map with
-/// the addition of the structural operations batch algorithms need: `join`
-/// with a disjoint greater tree, `split` by key or rank, and `take_front` /
-/// `take_back` by count.
-#[derive(Clone, Debug, Default)]
-pub struct Tree23<K, V> {
-    pub(crate) root: Option<Node<K, V>>,
+/// `BTree` is the balanced-search-tree substrate of every segment of the
+/// working-set maps.  Nodes live in a slab [`Arena`] — contiguous routing-key
+/// arrays, `usize` child indices, an intrusive free list — so descending one
+/// level is a linear scan of one small array rather than a pointer chase.
+/// The occupancy bounds come from the per-tree fanout `B`: `max(2, B/2)..=
+/// max(3, B)` children per internal node (root exempt from the minimum).
+/// `B = 2` is exactly the 2-3 tree of paper Appendix A.2 and stays available
+/// as the analytic reference instantiation; the process default is 16
+/// (`WSM_TREE_FANOUT`).
+///
+/// Beyond ordinary ordered-map operations it has the structural operations
+/// batch algorithms need: `join` with a disjoint greater tree, `split` by key
+/// or rank, and `take_front` / `take_back` by count.
+#[derive(Clone, Debug)]
+pub struct BTree<K, V> {
+    pub(crate) arena: Arena<K, V>,
+    pub(crate) root: usize,
 }
 
-impl<K: Ord + Clone, V> Tree23<K, V> {
-    /// Creates an empty tree.
+/// The 2-3-shaped name the workspace was written against.  Since the fanout
+/// generalization `Tree23` *is* [`BTree`]; the alias records the paper
+/// lineage (Appendix A.2) and keeps every call site source-compatible.
+pub type Tree23<K, V> = BTree<K, V>;
+
+impl<K: Ord + Clone, V> Default for BTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V> BTree<K, V> {
+    /// Creates an empty tree at the process-default fanout
+    /// (`WSM_TREE_FANOUT`, default 16).
     // lint: allow(unmetered) — trivial constructor, no nodes exist to charge
     pub fn new() -> Self {
-        Tree23 { root: None }
+        Self::with_fanout(crate::default_fanout())
+    }
+
+    /// Creates an empty tree with an explicit fanout: internal nodes keep
+    /// `max(2, fanout/2)..=max(3, fanout)` children, so `2` gives the 2-3
+    /// reference instantiation.
+    // lint: allow(unmetered) — trivial constructor, no nodes exist to charge
+    pub fn with_fanout(fanout: usize) -> Self {
+        BTree {
+            arena: Arena::new(fanout),
+            root: NIL,
+        }
+    }
+
+    /// The fanout this tree was constructed with.
+    // lint: allow(unmetered) — O(1) configuration accessor, no node traversal
+    pub fn fanout(&self) -> usize {
+        self.arena.fanout()
     }
 
     /// Builds a tree from items that are already sorted by key and contain no
-    /// duplicate keys, in `O(n)` work.
+    /// duplicate keys, in `O(n)` work, at the process-default fanout.
     ///
     /// # Panics
     /// Panics in debug builds if the items are not strictly sorted.
     pub fn from_sorted(items: Vec<(K, V)>) -> Self {
+        Self::from_sorted_with_fanout(items, crate::default_fanout())
+    }
+
+    /// [`BTree::from_sorted`] with an explicit fanout.
+    pub fn from_sorted_with_fanout(items: Vec<(K, V)>, fanout: usize) -> Self {
         pass();
         debug_assert!(
             items.windows(2).all(|w| w[0].0 < w[1].0),
             "from_sorted requires strictly increasing keys"
         );
-        Tree23 {
-            root: Node::from_sorted(items),
-        }
+        let mut arena = Arena::new(fanout);
+        let root = arena.build_sorted(items);
+        BTree { arena, root }
     }
 
     /// Number of items.
     // lint: allow(unmetered) — O(1) cached subtree size, no node traversal
     pub fn len(&self) -> usize {
-        self.root.as_ref().map_or(0, Node::size)
+        if self.root == NIL {
+            0
+        } else {
+            self.arena.size(self.root)
+        }
     }
 
     /// True if the tree holds no items.
     // lint: allow(unmetered) — O(1) root probe, no node traversal
     pub fn is_empty(&self) -> bool {
-        self.root.is_none()
+        self.root == NIL
     }
 
     /// Height of the tree (`0` for empty or single-leaf trees).
     // lint: allow(unmetered) — O(1) cached height, no node traversal
     pub fn height(&self) -> usize {
-        self.root.as_ref().map_or(0, Node::height)
+        if self.root == NIL {
+            0
+        } else {
+            self.arena.height(self.root)
+        }
     }
 
     /// Looks up a key.
     pub fn get(&self, key: &K) -> Option<&V> {
         pass();
-        self.root.as_ref().and_then(|r| r.get(key))
+        if self.root == NIL {
+            return None;
+        }
+        self.arena.get(self.root, key)
     }
 
     /// Looks up a key, returning a mutable reference to its value.
     pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
         pass();
-        self.root.as_mut().and_then(|r| r.get_mut(key))
+        if self.root == NIL {
+            return None;
+        }
+        self.arena.get_mut(self.root, key)
     }
 
     /// True if the key is present.
@@ -83,7 +140,10 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
     /// The item with rank `idx` (0-based, key order).
     pub fn select(&self, idx: usize) -> Option<(&K, &V)> {
         pass();
-        self.root.as_ref().and_then(|r| r.select(idx))
+        if self.root == NIL {
+            return None;
+        }
+        self.arena.select(self.root, idx)
     }
 
     /// The smallest item.
@@ -98,79 +158,79 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
 
     /// Inserts an item; returns the previous value for the key, if any.
     ///
-    /// One in-place root-to-leaf traversal (`Node::insert_point`): only the
+    /// One in-place root-to-leaf traversal (`Arena::insert_point`): only the
     /// nodes on the search path are touched, and a node is allocated only
-    /// when one actually splits — not along the whole spine as the old
-    /// split/join route did.
+    /// when one actually splits.
     pub fn insert(&mut self, key: K, val: V) -> Option<V> {
         pass();
-        match self.root.as_mut() {
-            None => {
-                touch(1);
-                self.root = Some(Node::leaf(key, val));
-                None
-            }
-            Some(root) => {
-                let (prev, overflow) = root.insert_point(key, val);
-                if let Some(sibling) = overflow {
-                    let old = self.root.take().expect("root present");
-                    self.root = Some(Node::internal(vec![old, sibling]));
-                }
-                prev
-            }
+        if self.root == NIL {
+            self.root = self.arena.leaf(key, val);
+            return None;
         }
+        let (prev, overflow) = self.arena.insert_point(self.root, key, val);
+        if let Some(sibling) = overflow {
+            self.root = self.arena.make_internal(vec![self.root, sibling]);
+        }
+        prev
     }
 
     /// Removes a key; returns its value if it was present.  In-place, like
-    /// [`Tree23::insert`].
+    /// [`BTree::insert`].
     pub fn remove(&mut self, key: &K) -> Option<V> {
         pass();
-        match self.root.as_mut()? {
-            Node::Leaf { key: k, .. } => {
-                touch(1);
-                if k == key {
-                    match self.root.take() {
-                        Some(Node::Leaf { val, .. }) => Some(val),
-                        _ => unreachable!("matched a leaf root"),
-                    }
-                } else {
-                    None
-                }
-            }
-            Node::Internal(int) => {
-                let removed = Node::remove_point(int, key);
-                if int.children.len() == 1 {
-                    // Height collapse at the root.
-                    let only = int.children.pop().expect("one child");
-                    self.root = Some(only);
-                }
-                removed.map(|(_, v)| v)
-            }
+        if self.root == NIL {
+            return None;
         }
+        if self.arena.is_leaf(self.root) {
+            touch(1);
+            if self.arena.max_key(self.root) == key {
+                let (_, val) = self.arena.take_leaf(self.root);
+                self.root = NIL;
+                return Some(val);
+            }
+            return None;
+        }
+        let removed = self.arena.remove_point(self.root, key);
+        if removed.is_some() && self.arena.children_len(self.root) == 1 {
+            // Height collapse at the root.
+            let int = self.arena.take_internal(self.root);
+            self.root = int.children[0];
+        }
+        removed.map(|(_, v)| v)
     }
 
     /// Splits off everything with key `>= key` into a new tree, keeping the
     /// rest (and returning the exact match separately, if present).
-    pub fn split_off(&mut self, key: &K) -> (Option<(K, V)>, Tree23<K, V>) {
+    pub fn split_off(&mut self, key: &K) -> (Option<(K, V)>, BTree<K, V>) {
         pass();
-        let Some(root) = self.root.take() else {
-            return (None, Tree23::new());
-        };
-        let (left, found, right) = root.split_at_key(key);
-        self.root = left;
-        (found, Tree23 { root: right })
+        let mut right = Self::with_fanout(self.arena.fanout());
+        if self.root == NIL {
+            return (None, right);
+        }
+        let (l, found, r) = self.arena.split_at_key(self.root, key);
+        self.root = l;
+        if r != NIL {
+            // The split-off part moves into its own arena so both trees own
+            // their slabs independently (O(size of the right part)).
+            right.root = self.arena.extract(r, &mut right.arena);
+        }
+        (found, right)
     }
 
     /// Splits the tree by rank: `self` keeps the first `rank` items, the rest
     /// are returned.
-    pub fn split_at_rank(&mut self, rank: usize) -> Tree23<K, V> {
+    pub fn split_at_rank(&mut self, rank: usize) -> BTree<K, V> {
         pass();
-        let Some(root) = self.root.take() else {
-            return Tree23::new();
-        };
-        let (left, right) = root.split_at_rank(rank);
-        self.root = left;
-        Tree23 { root: right }
+        let mut right = Self::with_fanout(self.arena.fanout());
+        if self.root == NIL {
+            return right;
+        }
+        let (l, r) = self.arena.split_at_rank(self.root, rank);
+        self.root = l;
+        if r != NIL {
+            right.root = self.arena.extract(r, &mut right.arena);
+        }
+        right
     }
 
     /// Removes and returns the first (smallest) `k` items, in key order.
@@ -185,9 +245,14 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
             }
             return out;
         }
-        let rest = self.split_at_rank(k);
-        let front = std::mem::replace(self, rest);
-        front.into_sorted_vec()
+        // One pass: rank-split in place and drain the detached front — the
+        // remainder stays in this arena, nothing is copied across slabs.
+        pass();
+        let (l, r) = self.arena.split_at_rank(self.root, k);
+        self.root = r;
+        let mut out = Vec::with_capacity(k);
+        self.arena.collect_into(l, &mut out);
+        out
     }
 
     /// Removes and returns the last (largest) `k` items, in key order.
@@ -204,29 +269,39 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
             out.reverse();
             return out;
         }
-        let back = self.split_at_rank(len - k);
-        back.into_sorted_vec()
+        pass();
+        let (l, r) = self.arena.split_at_rank(self.root, len - k);
+        self.root = l;
+        let mut out = Vec::with_capacity(k);
+        self.arena.collect_into(r, &mut out);
+        out
     }
 
     /// Concatenates `other` onto this tree.  Every key of `other` must be
     /// strictly greater than every key of `self`.
-    pub fn join_greater(&mut self, other: Tree23<K, V>) {
+    ///
+    /// The join itself is O(height difference) node visits; bringing
+    /// `other`'s arena into ours is an O(slots of `other`) slab append.
+    pub fn join_greater(&mut self, other: BTree<K, V>) {
         pass();
         debug_assert!(
             self.is_empty()
                 || other.is_empty()
-                || self.root.as_ref().unwrap().max_key()
-                    < other.root.as_ref().unwrap().select(0).unwrap().0,
+                || self.arena.max_key(self.root)
+                    < other.arena.select(other.root, 0).expect("non-empty").0,
             "join_greater key ranges overlap"
         );
-        self.root = Node::join_opt(self.root.take(), other.root);
+        let BTree { arena, root } = other;
+        let r = self.arena.absorb(arena, root);
+        self.root = self.arena.join_opt(self.root, r);
     }
 
     /// Consumes the tree into a sorted vector of items.
-    pub fn into_sorted_vec(self) -> Vec<(K, V)> {
+    pub fn into_sorted_vec(mut self) -> Vec<(K, V)> {
         let mut out = Vec::with_capacity(self.len());
-        if let Some(root) = self.root {
-            root.collect_into(&mut out);
+        if self.root != NIL {
+            self.arena.collect_into(self.root, &mut out);
+            self.root = NIL;
         }
         out
     }
@@ -234,8 +309,8 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
     /// Calls `f` on every item in key order.
     // lint: allow(unmetered) — whole-tree read sweep for tests/dumps; the cost model charges searches and restructures, not linear scans
     pub fn for_each<'a, F: FnMut(&'a K, &'a V)>(&'a self, mut f: F) {
-        if let Some(root) = &self.root {
-            root.for_each(&mut f);
+        if self.root != NIL {
+            self.arena.for_each(self.root, &mut f);
         }
     }
 
@@ -248,15 +323,25 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
     }
 
     /// Validates structural invariants; intended for tests and debug builds.
+    ///
+    /// Checks node occupancy against the fanout bounds (root exempt from the
+    /// minimum), routing-key/child agreement, cached height/size, strict
+    /// global key order, and the arena's free-list accounting (live nodes +
+    /// free slots account for every slab slot — no leaks, no cycles).
     pub fn check_invariants(&self)
     where
         K: std::fmt::Debug,
     {
-        if let Some(root) = &self.root {
-            root.check_invariants();
+        let live = if self.root == NIL {
+            0
+        } else {
+            self.arena.check_subtree(self.root, true).1
+        };
+        self.arena.check_slab(live);
+        if self.root != NIL {
             // Keys strictly increasing overall.
             let mut prev: Option<&K> = None;
-            root.for_each(&mut |k, _| {
+            self.arena.for_each(self.root, &mut |k, _| {
                 if let Some(p) = prev {
                     assert!(p < k, "keys not strictly increasing");
                 }
@@ -266,12 +351,12 @@ impl<K: Ord + Clone, V> Tree23<K, V> {
     }
 }
 
-impl<K: Ord + Clone, V> FromIterator<(K, V)> for Tree23<K, V> {
+impl<K: Ord + Clone, V> FromIterator<(K, V)> for BTree<K, V> {
     fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
         let mut items: Vec<(K, V)> = iter.into_iter().collect();
         items.sort_by(|a, b| a.0.cmp(&b.0));
         items.dedup_by(|a, b| a.0 == b.0);
-        Tree23::from_sorted(items)
+        BTree::from_sorted(items)
     }
 }
 
@@ -290,15 +375,22 @@ mod tests {
 
     #[test]
     fn insert_get_remove_roundtrip() {
-        let mut t = Tree23::new();
-        for i in 0..200u64 {
-            // 3 and 601 are coprime and i < 601, so keys are distinct.
-            assert_eq!(t.insert(i * 3 % 601, i), None);
-            t.check_invariants();
-        }
-        assert_eq!(t.len(), 200);
-        for i in 0..200u64 {
-            assert_eq!(t.get(&(i * 3 % 601)), Some(&i));
+        for fanout in [2usize, 8, 16] {
+            let mut t = Tree23::with_fanout(fanout);
+            for i in 0..200u64 {
+                // 3 and 601 are coprime and i < 601, so keys are distinct.
+                assert_eq!(t.insert(i * 3 % 601, i), None);
+                t.check_invariants();
+            }
+            assert_eq!(t.len(), 200);
+            for i in 0..200u64 {
+                assert_eq!(t.get(&(i * 3 % 601)), Some(&i));
+            }
+            for i in 0..200u64 {
+                assert_eq!(t.remove(&(i * 3 % 601)), Some(i));
+                t.check_invariants();
+            }
+            assert!(t.is_empty());
         }
         let mut t = Tree23::new();
         assert_eq!(t.insert(5u64, 1u64), None);
@@ -310,20 +402,24 @@ mod tests {
 
     #[test]
     fn from_sorted_builds_balanced() {
-        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 100, 1000] {
-            let items: Vec<(u64, u64)> = (0..n as u64).map(|i| (i, i * 2)).collect();
-            let t = Tree23::from_sorted(items);
-            t.check_invariants();
-            assert_eq!(t.len(), n);
-            if n > 0 {
-                assert!(
-                    t.height() <= (n as f64).log2().ceil() as usize + 1,
-                    "height {} too large for n={}",
-                    t.height(),
-                    n
-                );
-                for i in 0..n as u64 {
-                    assert_eq!(t.get(&i), Some(&(i * 2)));
+        for fanout in [2usize, 8, 16] {
+            for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 100, 1000] {
+                let items: Vec<(u64, u64)> = (0..n as u64).map(|i| (i, i * 2)).collect();
+                let t = Tree23::from_sorted_with_fanout(items, fanout);
+                t.check_invariants();
+                assert_eq!(t.len(), n);
+                if n > 0 {
+                    // The 2-3 bound is the loosest of the swept fanouts.
+                    assert!(
+                        t.height() <= (n as f64).log2().ceil() as usize + 1,
+                        "height {} too large for n={} at fanout {}",
+                        t.height(),
+                        n,
+                        fanout
+                    );
+                    for i in 0..n as u64 {
+                        assert_eq!(t.get(&i), Some(&(i * 2)));
+                    }
                 }
             }
         }
@@ -342,47 +438,68 @@ mod tests {
 
     #[test]
     fn split_off_by_key() {
-        let mut t: Tree23<u64, u64> = (0..100u64).map(|i| (i, i)).collect();
-        let (found, right) = t.split_off(&60);
-        assert_eq!(found, Some((60, 60)));
-        assert_eq!(t.len(), 60);
-        assert_eq!(right.len(), 39);
-        t.check_invariants();
-        right.check_invariants();
-        assert!(t.keys().iter().all(|&k| k < 60));
-        assert!(right.keys().iter().all(|&k| k > 60));
+        for fanout in [2usize, 8, 16] {
+            let mut t: Tree23<u64, u64> =
+                Tree23::from_sorted_with_fanout((0..100u64).map(|i| (i, i)).collect(), fanout);
+            let (found, right) = t.split_off(&60);
+            assert_eq!(found, Some((60, 60)));
+            assert_eq!(t.len(), 60);
+            assert_eq!(right.len(), 39);
+            t.check_invariants();
+            right.check_invariants();
+            assert!(t.keys().iter().all(|&k| k < 60));
+            assert!(right.keys().iter().all(|&k| k > 60));
+        }
     }
 
     #[test]
     fn split_at_rank_and_take() {
-        let mut t: Tree23<u64, u64> = (0..100u64).map(|i| (i, i)).collect();
-        let right = t.split_at_rank(30);
-        assert_eq!(t.len(), 30);
-        assert_eq!(right.len(), 70);
-        t.check_invariants();
-        right.check_invariants();
+        for fanout in [2usize, 8, 16] {
+            let mut t: Tree23<u64, u64> =
+                Tree23::from_sorted_with_fanout((0..100u64).map(|i| (i, i)).collect(), fanout);
+            let right = t.split_at_rank(30);
+            assert_eq!(t.len(), 30);
+            assert_eq!(right.len(), 70);
+            t.check_invariants();
+            right.check_invariants();
 
-        let mut t: Tree23<u64, u64> = (0..10u64).map(|i| (i, i)).collect();
-        let front = t.take_front(3);
-        assert_eq!(front.iter().map(|x| x.0).collect::<Vec<_>>(), vec![0, 1, 2]);
-        assert_eq!(t.len(), 7);
-        let back = t.take_back(2);
-        assert_eq!(back.iter().map(|x| x.0).collect::<Vec<_>>(), vec![8, 9]);
-        assert_eq!(t.len(), 5);
-        // Taking more than available is clamped.
-        let rest = t.take_front(100);
-        assert_eq!(rest.len(), 5);
-        assert!(t.is_empty());
+            let mut t: Tree23<u64, u64> =
+                Tree23::from_sorted_with_fanout((0..10u64).map(|i| (i, i)).collect(), fanout);
+            let front = t.take_front(3);
+            assert_eq!(front.iter().map(|x| x.0).collect::<Vec<_>>(), vec![0, 1, 2]);
+            assert_eq!(t.len(), 7);
+            let back = t.take_back(2);
+            assert_eq!(back.iter().map(|x| x.0).collect::<Vec<_>>(), vec![8, 9]);
+            assert_eq!(t.len(), 5);
+            // Taking more than available is clamped.
+            let rest = t.take_front(100);
+            assert_eq!(rest.len(), 5);
+            assert!(t.is_empty());
+
+            // The split path (k > POINT_TAKE) agrees with the point path.
+            let mut t: Tree23<u64, u64> =
+                Tree23::from_sorted_with_fanout((0..100u64).map(|i| (i, i)).collect(), fanout);
+            let front = t.take_front(20);
+            assert_eq!(front, (0..20u64).map(|i| (i, i)).collect::<Vec<_>>());
+            let back = t.take_back(20);
+            assert_eq!(back, (80..100u64).map(|i| (i, i)).collect::<Vec<_>>());
+            assert_eq!(t.len(), 60);
+            t.check_invariants();
+        }
     }
 
     #[test]
     fn join_greater_concatenates() {
-        let mut a: Tree23<u64, ()> = (0..37u64).map(|i| (i, ())).collect();
-        let b: Tree23<u64, ()> = (100..153u64).map(|i| (i, ())).collect();
-        a.join_greater(b);
-        a.check_invariants();
-        assert_eq!(a.len(), 37 + 53);
-        assert!(a.contains(&0) && a.contains(&36) && a.contains(&100) && a.contains(&152));
+        for fanout in [2usize, 8, 16] {
+            let mut a: Tree23<u64, ()> =
+                Tree23::from_sorted_with_fanout((0..37u64).map(|i| (i, ())).collect(), fanout);
+            let b: Tree23<u64, ()> =
+                Tree23::from_sorted_with_fanout((100..153u64).map(|i| (i, ())).collect(), fanout);
+            a.join_greater(b);
+            a.check_invariants();
+            assert_eq!(a.len(), 37 + 53);
+            assert!(a.contains(&0) && a.contains(&36) && a.contains(&100) && a.contains(&152));
+        }
     }
 
     #[test]
@@ -399,5 +516,26 @@ mod tests {
         let mut t: Tree23<u64, u64> = (0..10u64).map(|i| (i, 0)).collect();
         *t.get_mut(&7).unwrap() = 42;
         assert_eq!(t.get(&7), Some(&42));
+    }
+
+    #[test]
+    fn fanout_two_matches_wide_fanout_observably() {
+        let mut narrow = Tree23::with_fanout(2);
+        let mut wide = Tree23::with_fanout(16);
+        let mut x = 0x2545F4914F6CDD1Du64;
+        for _ in 0..600 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = x % 512;
+            if x.is_multiple_of(3) {
+                assert_eq!(narrow.remove(&k), wide.remove(&k));
+            } else {
+                assert_eq!(narrow.insert(k, x), wide.insert(k, x));
+            }
+            narrow.check_invariants();
+            wide.check_invariants();
+        }
+        assert_eq!(narrow.keys(), wide.keys());
     }
 }

@@ -254,10 +254,11 @@ proptest! {
     #[test]
     fn fused_map_matches_deque_model(
         ops in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u8>()), 1..60),
+        fan in prop::sample::select(vec![2usize, 8, 16]),
     ) {
-        let mut map: RecencyMap<u16, u32> = RecencyMap::new();
+        let mut map: RecencyMap<u16, u32> = RecencyMap::with_fanout(fan);
         let mut model = Model::default();
-        let mut other = (RecencyMap::new(), Model::default());
+        let mut other = (RecencyMap::with_fanout(fan), Model::default());
         let mut val = 0u32;
         for (op, key, count) in ops {
             apply(&mut map, &mut model, &mut other, op, key, count, &mut val);
@@ -274,15 +275,16 @@ proptest! {
         keys in prop::collection::vec(any::<u16>(), 1..80),
         k in 1usize..20,
         to_front in any::<bool>(),
+        fan in prop::sample::select(vec![2usize, 8, 16]),
     ) {
-        let mut a: RecencyMap<u16, u32> = RecencyMap::new();
+        let mut a: RecencyMap<u16, u32> = RecencyMap::with_fanout(fan);
         let mut a_model = Model::default();
         for (i, &key) in keys.iter().enumerate() {
             let key = key % 64;
             a.insert_front(key, i as u32);
             a_model.insert_front(key, i as u32);
         }
-        let mut b: RecencyMap<u16, u32> = RecencyMap::new();
+        let mut b: RecencyMap<u16, u32> = RecencyMap::with_fanout(fan);
         let mut b_model = Model::default();
         // Pre-populate the destination with disjoint keys (offset past the
         // source keyspace).
@@ -309,8 +311,9 @@ proptest! {
     fn lru_eviction_shape(
         accesses in prop::collection::vec(any::<u16>(), 1..120),
         evict in 1usize..16,
+        fan in prop::sample::select(vec![2usize, 8, 16]),
     ) {
-        let mut map: RecencyMap<u16, u32> = RecencyMap::new();
+        let mut map: RecencyMap<u16, u32> = RecencyMap::with_fanout(fan);
         let mut model = Model::default();
         for (i, &key) in accesses.iter().enumerate() {
             let key = key % 32;
@@ -328,7 +331,14 @@ proptest! {
 /// relative order even when the batch is split across several hops).
 #[test]
 fn multi_hop_cascade_preserves_order() {
-    let mut segs: Vec<RecencyMap<u64, u64>> = (0..3).map(|_| RecencyMap::new()).collect();
+    for fan in [2usize, 8, 16] {
+        multi_hop_cascade_at(fan);
+    }
+}
+
+fn multi_hop_cascade_at(fan: usize) {
+    let mut segs: Vec<RecencyMap<u64, u64>> =
+        (0..3).map(|_| RecencyMap::with_fanout(fan)).collect();
     for i in 0..12u64 {
         segs[0].insert_back(i, i);
     }

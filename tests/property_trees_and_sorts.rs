@@ -1,4 +1,5 @@
-//! Property-based tests for the substrates: the batched 2-3 tree against a
+//! Property-based tests for the substrates: the batched fanout-B tree (swept
+//! over B in {2, 8, 16}, B = 2 being the paper's 2-3 shape) against a
 //! `BTreeMap` model, the recency map's ordering laws, and the entropy sorts'
 //! correctness, stability and bound-tracking.
 
@@ -16,10 +17,11 @@ proptest! {
         batches in prop::collection::vec(
             (prop::collection::btree_set(any::<u16>(), 1..60), any::<bool>()),
             1..12,
-        )
+        ),
+        fan in prop::sample::select(vec![2usize, 8, 16]),
     ) {
         let mut model: BTreeMap<u16, u16> = BTreeMap::new();
-        let mut tree: Tree23<u16, u16> = Tree23::new();
+        let mut tree: Tree23<u16, u16> = Tree23::with_fanout(fan);
         for (keys, is_insert) in batches {
             let keys: Vec<u16> = keys.into_iter().collect();
             if is_insert {
@@ -46,9 +48,10 @@ proptest! {
     fn tree23_split_and_join_preserve_content(
         keys in prop::collection::btree_set(any::<u32>(), 1..200),
         pivot in any::<u32>(),
+        fan in prop::sample::select(vec![2usize, 8, 16]),
     ) {
         let items: Vec<(u32, u32)> = keys.iter().map(|&k| (k, k)).collect();
-        let mut tree: Tree23<u32, u32> = Tree23::from_sorted(items.clone());
+        let mut tree: Tree23<u32, u32> = Tree23::from_sorted_with_fanout(items.clone(), fan);
         let (found, right) = tree.split_off(&pivot);
         tree.check_invariants();
         right.check_invariants();

@@ -3,8 +3,8 @@
 //! Implements the subset this workspace's property tests use: the
 //! [`proptest!`] macro with an optional `#![proptest_config(...)]` header,
 //! [`prop_oneof!`], `prop_assert!`/`prop_assert_eq!`, [`arbitrary::any`],
-//! integer-range and tuple strategies, [`strategy::Strategy::prop_map`], and
-//! [`collection::vec`] / [`collection::btree_set`].
+//! integer-range and tuple strategies, [`strategy::Strategy::prop_map`],
+//! [`sample::select`], and [`collection::vec`] / [`collection::btree_set`].
 //!
 //! Cases are generated from a deterministic per-test RNG (seeded by hashing
 //! the test name), so failures are reproducible run-to-run.
@@ -188,6 +188,36 @@ pub mod arbitrary {
         Any {
             _marker: PhantomData,
         }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies ([`select`]).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+
+    /// Uniform choice from a fixed list of values.  Smaller draws select
+    /// earlier elements, so list the simplest value first for shrinking.
+    ///
+    /// # Panics
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
     }
 }
 
@@ -503,7 +533,7 @@ pub mod prelude {
 
     /// Module alias mirroring `proptest::prelude::prop`.
     pub mod prop {
-        pub use crate::collection;
+        pub use crate::{collection, sample};
     }
 }
 
