@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! harness [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15|e16|e17|e18|e19|e20|all] [--small] [--threads N]
+//! harness [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15|e16|e17|e18|e19|e20|e21|all] [--small] [--threads N]
 //! ```
 //! With no experiment argument, all experiments run at their default
 //! (paper-shaped) sizes; `--small` shrinks them for a quick smoke run.
@@ -60,6 +60,19 @@ fn in_pool(
 /// reference) write to a `_b{fanout}`-suffixed file, so B=2 and B=16 runs of
 /// the same preset never clobber each other.
 fn emit(ids: &[&str], title: &str, rows: &[bench::Row], threads: Option<usize>, small: bool) {
+    emit_extra(ids, title, rows, threads, small, &[]);
+}
+
+/// [`emit`] plus experiment-specific meta entries (e.g. E21's CPU-count
+/// caveat), appended after the shared threads/preset/fanout keys.
+fn emit_extra(
+    ids: &[&str],
+    title: &str,
+    rows: &[bench::Row],
+    threads: Option<usize>,
+    small: bool,
+    extra: &[(&str, String)],
+) {
     bench::print_table(title, rows);
     let threads_meta = match threads {
         Some(n) => n.to_string(),
@@ -76,6 +89,9 @@ fn emit(ids: &[&str], title: &str, rows: &[bench::Row], threads: Option<usize>, 
         ];
         if id != &primary {
             meta.push(("alias_of", primary.to_string()));
+        }
+        for (k, v) in extra {
+            meta.push((*k, v.clone()));
         }
         let file_id = format!("{id}{}", artifact_suffix(small, fanout));
         match bench::json::write_rows(&bench::json::bench_dir(), &file_id, &meta, rows) {
@@ -99,9 +115,9 @@ fn artifact_suffix(small: bool, fanout: usize) -> String {
 }
 
 /// Every experiment id an artifact is expected for (aliases included).
-const ALL_IDS: [&str; 20] = [
+const ALL_IDS: [&str; 21] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20",
+    "e16", "e17", "e18", "e19", "e20", "e21",
 ];
 
 /// Warns about experiment ids with no committed artifact for the active
@@ -363,6 +379,41 @@ fn main() {
             small,
         );
     }
+    if run("e21") {
+        // E21 owns its async executor and the sharded maps own their router
+        // pools, so it runs outside the `in_pool` wrapper.
+        let t = threads.unwrap_or(2).max(1);
+        let (clients, requests, batch, interval_us) = if small {
+            (8, 40, 16, 2_000)
+        } else {
+            (32, 200, 16, 1_000)
+        };
+        let rows = bench::experiment_service_latency(
+            sizes.keyspace.min(1 << 14),
+            clients,
+            requests,
+            batch,
+            interval_us,
+            t,
+        );
+        let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        emit_extra(
+            &["e21"],
+            "E21: async service latency (QPS-paced clients, p50/p99/p999 by hand-off mode x sharding)",
+            &rows,
+            threads,
+            small,
+            &[
+                ("cpus", cpus.to_string()),
+                (
+                    "caveat",
+                    "tail latencies on <= 2 CPUs mostly measure run-queue contention \
+                     between client tasks and the combiner, not service quality"
+                        .to_string(),
+                ),
+            ],
+        );
+    }
     if run("e15") {
         // E15 manages its own pools (one per swept worker count), so it runs
         // outside the `in_pool` wrapper.
@@ -438,7 +489,7 @@ fn parse_positive(flag: &str, value: &str) -> usize {
 fn usage_error(msg: &str) -> ! {
     eprintln!("harness: {msg}");
     eprintln!(
-        "usage: harness [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15|e16|e17|e18|e19|e20|all] [--small] [--threads N]"
+        "usage: harness [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15|e16|e17|e18|e19|e20|e21|all] [--small] [--threads N]"
     );
     std::process::exit(2);
 }

@@ -833,6 +833,7 @@ pub fn experiment_hot_paths(
         let mode = match handoff {
             Handoff::Doorbell => String::new(),
             Handoff::Cell => " cell".to_string(),
+            Handoff::Waker => " waker".to_string(),
         };
         rows.push(Row::new(
             format!("web-cache map inline={threshold}{mode} t={threads}"),
@@ -1531,6 +1532,108 @@ pub fn experiment_wal_overhead(
     drop(map);
 
     let _ = std::fs::remove_dir_all(&dir_base);
+    rows
+}
+
+/// E21 — async service latency under a QPS-paced open(ish) loop.
+///
+/// `clients` executor tasks each issue `requests` batched searches of
+/// `batch` keys through [`wsm_svc::WsMapService`], pacing themselves at one
+/// request per `interval_us` microseconds from a fixed start (a late request
+/// fires immediately, degrading toward closed-loop under saturation — the
+/// achieved-throughput column records how far offered load was met).  The
+/// sweep covers all three waiter hand-off modes × {unsharded, S=4}: in
+/// doorbell/cell modes the service future must cooperatively self-wake
+/// (busy re-polling between harvests), while waker mode goes quiescent until
+/// a `ResultCell` fill wakes it — E21 measures exactly the latency and
+/// throughput shape of that difference.
+pub fn experiment_service_latency(
+    keyspace: u64,
+    clients: usize,
+    requests: usize,
+    batch: usize,
+    interval_us: u64,
+    workers: usize,
+) -> Vec<Row> {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use wsm_core::Handoff;
+    use wsm_shard::ShardedMap;
+    use wsm_svc::{block_on, Executor, WsMapService};
+
+    let modes = [
+        ("doorbell", Handoff::Doorbell),
+        ("cell", Handoff::Cell),
+        ("waker", Handoff::Waker),
+    ];
+    let mut rows = Vec::new();
+    for (mode_name, handoff) in modes {
+        for shards in [1usize, 4] {
+            let map = Arc::new(
+                ShardedMap::with_shards(shards, |_| M1::<u64, u64>::new(4)).with_handoff(handoff),
+            );
+            let preload: Vec<(u64, u64)> = (0..keyspace).map(|k| (k, k)).collect();
+            for chunk in preload.chunks(512) {
+                map.insert_batch(chunk.to_vec());
+            }
+            let svc = WsMapService::from_arc(map);
+            let exec = Executor::new(workers);
+            let timer = exec.timer();
+            let wall_start = Instant::now();
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let svc = svc.clone();
+                    let timer = timer.clone();
+                    let keys: Vec<u64> = WorkloadSpec::read_only(
+                        keyspace,
+                        requests * batch,
+                        Pattern::Zipf(1.1),
+                        c as u64,
+                    )
+                    .access_phase()
+                    .iter()
+                    .map(|op| *op.key())
+                    .collect();
+                    exec.spawn(async move {
+                        let mut latencies = Vec::with_capacity(requests);
+                        let base = Instant::now();
+                        for r in 0..requests {
+                            let tick = base + Duration::from_micros(interval_us * r as u64);
+                            timer.sleep_until(tick).await;
+                            let issued = Instant::now();
+                            let _ = svc
+                                .batch_search(keys[r * batch..(r + 1) * batch].to_vec())
+                                .await;
+                            latencies.push(issued.elapsed().as_nanos() as u64);
+                        }
+                        latencies
+                    })
+                })
+                .collect();
+            let mut latencies: Vec<u64> = handles.into_iter().flat_map(block_on).collect();
+            let wall = wall_start.elapsed().as_secs_f64();
+            latencies.sort_unstable();
+            let pct = |p: f64| {
+                let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+                latencies[idx] as f64 / 1_000.0
+            };
+            let total_ops = (clients * requests * batch) as f64;
+            let label = if shards == 1 {
+                format!("{mode_name} unsharded")
+            } else {
+                format!("{mode_name} S={shards}")
+            };
+            rows.push(Row::new(
+                label,
+                vec![
+                    ("p50 us", pct(0.50)),
+                    ("p99 us", pct(0.99)),
+                    ("p999 us", pct(0.999)),
+                    ("achieved kops/s", total_ops / wall / 1_000.0),
+                ],
+            ));
+        }
+    }
     rows
 }
 

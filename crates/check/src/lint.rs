@@ -371,6 +371,7 @@ fn rule_ord_justified(file: &SourceFile, masked: &str, out: &mut Vec<Violation>)
         "crates/pool/",
         "crates/core/",
         "crates/shard/",
+        "crates/svc/",
         "crates/wal/",
     ];
     if !concurrent.iter().any(|d| file.in_dir(d)) {

@@ -22,10 +22,15 @@
 //!   lands): the ring that follows every activation guarantees somebody
 //!   re-checks.  Alternatively, `WSM_HANDOFF=cell` (or
 //!   [`ConcurrentMap::with_handoff`]) selects the *slot-free* hand-off: a
-//!   waiter spins with yields on its own sequence-stamped
-//!   [`crate::handoff::ResultCell`] and never parks, removing the park/wake
-//!   futex round trip entirely — see [`Handoff`] and experiment E16's A/B
-//!   rows.
+//!   waiter spins on its own sequence-stamped
+//!   [`crate::handoff::ResultCell`] with yields escalating into a bounded
+//!   exponential backoff, and never parks — removing the park/wake futex
+//!   round trip entirely — see [`Handoff`] and experiment E16's A/B rows.
+//!   `WSM_HANDOFF=waker` is the third, *await-able* hand-off for async
+//!   callers: [`ConcurrentMap::submit_batch`] deposits operations without
+//!   waiting at all, and the combiner's `fill` wakes the task
+//!   [`Waker`](std::task::Waker) registered on each cell (the `wsm-svc`
+//!   front-end and experiment E21's latency rows).
 //! * **Pool-driven batches, with a small-batch inline fast path.**  The
 //!   combiner executes large batches inside the work-stealing pool
 //!   (`wsm_pool`), so the parallel recursions inside the batched map (PESort,
@@ -74,25 +79,36 @@ pub enum Handoff {
     /// default).  One futex word serves every waiter; the combiner rings it
     /// once per activation.
     Doorbell,
-    /// Never park: keep spinning (with yields) on the caller's own result
-    /// cell, re-attempting the combiner activation between spin windows.
-    /// Removes the park/wake futex round trip from the hand-off at the cost
-    /// of burning yields while waiting — a good trade when combine cycles
-    /// are short (small batches) or cores outnumber runnable threads.
-    /// Selected per process with `WSM_HANDOFF=cell`.
+    /// Never park: keep spinning on the caller's own result cell,
+    /// re-attempting the combiner activation between spin windows, with
+    /// yields escalating into a bounded exponential backoff (so a long wait
+    /// stops burning a core — see [`Backoff`]).  Removes the park/wake futex
+    /// round trip from the hand-off — a good trade when combine cycles are
+    /// short (small batches) or cores outnumber runnable threads.  Selected
+    /// per process with `WSM_HANDOFF=cell`.
     Cell,
+    /// Await instead of waiting: completed operations wake the
+    /// [`Waker`](std::task::Waker) an async caller registered on its result
+    /// cell, so no thread blocks anywhere in the hand-off.  This is the mode
+    /// the `wsm-svc` async front-end uses via
+    /// [`ConcurrentMap::submit_batch`] + [`ConcurrentMap::pump`]; a
+    /// *blocking* call on a waker-mode map waits like [`Handoff::Cell`]
+    /// (there is no task to wake).  Selected per process with
+    /// `WSM_HANDOFF=waker`.
+    Waker,
 }
 
-/// The process-wide hand-off mode: `WSM_HANDOFF=cell` or (default)
+/// The process-wide hand-off mode: `WSM_HANDOFF=cell`, `waker` or (default)
 /// `doorbell`.  Any other value warns once and keeps the default.
 fn handoff_from_env() -> Handoff {
     crate::env::parse_with(
         "WSM_HANDOFF",
-        "cell|doorbell",
+        "cell|doorbell|waker",
         Handoff::Doorbell,
         |raw| match raw {
             "cell" => Some(Handoff::Cell),
             "doorbell" => Some(Handoff::Doorbell),
+            "waker" => Some(Handoff::Waker),
             _ => None,
         },
     )
@@ -133,6 +149,57 @@ fn inline_threshold_from_env() -> usize {
         DEFAULT_INLINE_BATCH,
         |_| true,
     )
+}
+
+/// Longest single backoff sleep of a never-parking waiter, in microseconds.
+/// The cap keeps the hand-off latency bounded (a result deposited while the
+/// waiter sleeps is harvested at most this much later) while a long wait —
+/// e.g. a huge batch combining ahead of us — costs sleeps instead of a
+/// pegged core.
+pub const BACKOFF_CAP_US: u64 = 256;
+
+/// Bounded exponential backoff for the never-parking wait loops (cell and
+/// waker hand-offs, and the doorbell path when parking is forbidden because
+/// the caller is a service task — see [`crate::context`]).
+///
+/// The first few pauses are plain yields (a small-batch combine finishes in
+/// microseconds, and the yield donates the CPU to the combiner on
+/// oversubscribed machines); after that each pause sleeps, doubling from
+/// 1µs up to [`BACKOFF_CAP_US`].  The pre-backoff spin burned yields
+/// forever — under a cooperative executor or on a single busy core that
+/// pegs a CPU for the whole wait, which is the blocking-hand-off bug class
+/// this bound fixes (the waiting loops stay correct without any pause at
+/// all; the backoff only shapes *where* the waiting time goes).
+struct Backoff {
+    /// Completed pause rounds.
+    round: u32,
+}
+
+impl Backoff {
+    /// Pauses 0..YIELD_ROUNDS are yields; later ones sleep.
+    const YIELD_ROUNDS: u32 = 4;
+
+    fn new() -> Self {
+        Backoff { round: 0 }
+    }
+
+    /// One wait step: yield while young, then sleep with doubling duration
+    /// up to the cap.
+    fn pause(&mut self) {
+        if self.round < Self::YIELD_ROUNDS {
+            std::thread::yield_now();
+        } else {
+            let exp = (self.round - Self::YIELD_ROUNDS).min(63);
+            let us = (1u64 << exp.min(8)).min(BACKOFF_CAP_US);
+            // lint: allow(thread_sleep) — bounded backoff, not
+            // synchronization: the surrounding loop re-probes the result
+            // cell and re-attempts the combiner election on every
+            // iteration, so correctness never depends on this sleep; it
+            // only stops a long never-parking wait from pegging a core.
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
+        self.round = self.round.saturating_add(1);
+    }
 }
 
 /// Reusable combiner-side buffers.  Only the thread holding the buffer's
@@ -315,6 +382,19 @@ where
         }
     }
 
+    /// True when the current caller must never park on the doorbell: the
+    /// map's hand-off is slot-free ([`Handoff::Cell`]) or await-able
+    /// ([`Handoff::Waker`] — a *blocking* call has no task to wake, so it
+    /// waits cell-style), or the calling thread is polling an async service
+    /// task ([`crate::context::in_service_task`]).  In the latter case a
+    /// park could deadlock the executor — the parked worker may be the only
+    /// thread that would ever poll the task whose combine rings the bell —
+    /// so the doorbell path degrades, panic- and deadlock-free, to the
+    /// bounded-backoff wait instead of parking.
+    fn never_park(&self) -> bool {
+        matches!(self.handoff, Handoff::Cell | Handoff::Waker) || crate::context::in_service_task()
+    }
+
     /// Deposits one call and drives combining until its result is available.
     ///
     /// The loop below is deadlock-free by a pairing argument: a caller parks
@@ -334,6 +414,8 @@ where
                 slot: Arc::clone(&slot),
             },
         );
+        let never_park = self.never_park();
+        let mut backoff = Backoff::new();
         loop {
             let seen = self.doorbell.current();
             self.drive();
@@ -341,43 +423,43 @@ where
                 return r;
             }
             // Another thread holds the combiner role.  Spin briefly before
-            // parking: with small batches the combiner's whole cycle is
+            // pausing: with small batches the combiner's whole cycle is
             // shorter than a futex sleep/wake round trip, so most results
             // arrive within a few yields.  The yield also donates the CPU to
             // the combiner on oversubscribed machines.
-            match self.handoff {
-                Handoff::Cell => {
-                    // Slot-free hand-off: never park.  Spin on our own
-                    // sequence-stamped cell, then loop back to re-attempt
-                    // the activation (if our op is still buffered, we will
-                    // eventually win the election and combine it ourselves).
-                    for _ in 0..self.spin_wait.max(1) {
-                        std::thread::yield_now();
-                        if let Some(r) = slot.try_take() {
-                            return r;
-                        }
+            if never_park {
+                // Slot-free hand-off: never park.  Spin on our own
+                // sequence-stamped cell, then loop back to re-attempt the
+                // activation (if our op is still buffered, we will
+                // eventually win the election and combine it ourselves).
+                // The pauses escalate into the bounded backoff, so a long
+                // wait costs capped sleeps rather than a pegged core.
+                for _ in 0..self.spin_wait.max(1) {
+                    std::thread::yield_now();
+                    if let Some(r) = slot.try_take() {
+                        return r;
                     }
                 }
-                Handoff::Doorbell => {
-                    let mut delivered = false;
-                    for _ in 0..self.spin_wait {
-                        std::thread::yield_now();
-                        if let Some(r) = slot.try_take() {
-                            return r;
-                        }
-                        if self.doorbell.current() != seen {
-                            // A hand-off happened; re-attempt the activation
-                            // rather than parking on a generation that
-                            // already passed.
-                            delivered = true;
-                            break;
-                        }
+                backoff.pause();
+            } else {
+                let mut delivered = false;
+                for _ in 0..self.spin_wait {
+                    std::thread::yield_now();
+                    if let Some(r) = slot.try_take() {
+                        return r;
                     }
-                    if !delivered {
-                        // Park until the next hand-off, then re-check /
-                        // re-attempt.
-                        self.doorbell.wait_past(seen);
+                    if self.doorbell.current() != seen {
+                        // A hand-off happened; re-attempt the activation
+                        // rather than parking on a generation that
+                        // already passed.
+                        delivered = true;
+                        break;
                     }
+                }
+                if !delivered {
+                    // Park until the next hand-off, then re-check /
+                    // re-attempt.
+                    self.doorbell.wait_past(seen);
                 }
             }
         }
@@ -399,17 +481,7 @@ where
         if n == 0 {
             return Vec::new();
         }
-        let cells: Vec<Arc<ResultCell<OpResult<V>>>> =
-            (0..n).map(|_| Arc::new(ResultCell::new())).collect();
-        let items: Vec<Pending<K, V>> = ops
-            .into_iter()
-            .zip(&cells)
-            .map(|(op, cell)| Pending {
-                op,
-                slot: Arc::clone(cell),
-            })
-            .collect();
-        self.buffer.push_batch(shard, items);
+        let cells = self.submit_batch(shard, ops);
         let mut results: Vec<Option<OpResult<V>>> = (0..n).map(|_| None).collect();
         let mut remaining = n;
         let harvest = |results: &mut Vec<Option<OpResult<V>>>, remaining: &mut usize| {
@@ -423,40 +495,95 @@ where
             }
             *remaining == 0
         };
+        let never_park = self.never_park();
+        let mut backoff = Backoff::new();
         loop {
             let seen = self.doorbell.current();
             self.drive();
             if harvest(&mut results, &mut remaining) {
                 break;
             }
-            match self.handoff {
-                Handoff::Cell => {
-                    for _ in 0..self.spin_wait.max(1) {
-                        std::thread::yield_now();
-                        if harvest(&mut results, &mut remaining) {
-                            return finish(results);
-                        }
+            if never_park {
+                for _ in 0..self.spin_wait.max(1) {
+                    std::thread::yield_now();
+                    if harvest(&mut results, &mut remaining) {
+                        return finish(results);
                     }
                 }
-                Handoff::Doorbell => {
-                    let mut delivered = false;
-                    for _ in 0..self.spin_wait {
-                        std::thread::yield_now();
-                        if harvest(&mut results, &mut remaining) {
-                            return finish(results);
-                        }
-                        if self.doorbell.current() != seen {
-                            delivered = true;
-                            break;
-                        }
+                backoff.pause();
+            } else {
+                let mut delivered = false;
+                for _ in 0..self.spin_wait {
+                    std::thread::yield_now();
+                    if harvest(&mut results, &mut remaining) {
+                        return finish(results);
                     }
-                    if !delivered {
-                        self.doorbell.wait_past(seen);
+                    if self.doorbell.current() != seen {
+                        delivered = true;
+                        break;
                     }
+                }
+                if !delivered {
+                    self.doorbell.wait_past(seen);
                 }
             }
         }
         finish(results)
+    }
+
+    /// Deposits a sub-batch of operations *without waiting*, returning each
+    /// operation's sequence-stamped result cell in operation order.  This is
+    /// the async entry point: an `await`-able caller (the `wsm-svc`
+    /// front-end) registers its task waker on each still-empty cell
+    /// ([`ResultCell::set_waker`]) and is woken by the combiner's fill —
+    /// [`Handoff::Waker`] — instead of blocking here.
+    ///
+    /// The deposit alone does not guarantee execution: some context must
+    /// drive the combiner election.  Callers either follow up with
+    /// [`ConcurrentMap::pump`] (a non-blocking election attempt — the async
+    /// future does this on every poll) or rely on a concurrent combiner,
+    /// whose activation keeps re-running while the buffer is non-empty.
+    pub fn submit_batch(
+        &self,
+        shard: usize,
+        ops: Vec<Operation<K, V>>,
+    ) -> Vec<Arc<ResultCell<OpResult<V>>>> {
+        let cells: Vec<Arc<ResultCell<OpResult<V>>>> = (0..ops.len())
+            .map(|_| Arc::new(ResultCell::new()))
+            .collect();
+        let items: Vec<Pending<K, V>> = ops
+            .into_iter()
+            .zip(&cells)
+            .map(|(op, cell)| Pending {
+                op,
+                slot: Arc::clone(cell),
+            })
+            .collect();
+        if !items.is_empty() {
+            self.buffer.push_batch(shard, items);
+        }
+        cells
+    }
+
+    /// One non-blocking combiner election attempt: if the activation is free
+    /// and work is buffered, the calling thread combines it (filling — and
+    /// in waker mode waking — the affected cells); if another thread holds
+    /// the activation, returns immediately.  Never parks and never waits.
+    /// This is how async callers donate their poll time to the combiner —
+    /// flat combining's "whoever shows up does the work" — without any
+    /// thread blocking.
+    pub fn pump(&self) {
+        self.drive();
+    }
+
+    /// True while any deposited operation is still in the publication
+    /// buffer (i.e. not yet flushed into a combiner's batch).  An async
+    /// caller whose cells are empty while this is `false` knows its
+    /// operations are in some in-flight batch whose fill will wake it, so it
+    /// can safely suspend; while `true` it must keep pumping (or yield and
+    /// re-poll) because the combiner election may be unheld.
+    pub fn buffered(&self) -> bool {
+        !self.buffer.is_empty()
     }
 
     /// One pass of the combiner election: attempt the activation (combining

@@ -35,6 +35,7 @@ pub use wsm_check::env;
 
 pub mod buffer;
 pub mod concurrent;
+pub mod context;
 pub mod doorbell;
 pub mod feed;
 pub mod handoff;
@@ -43,7 +44,8 @@ pub mod m2;
 pub mod ops;
 
 pub use buffer::ParallelBuffer;
-pub use concurrent::{CommitHook, ConcurrentMap, Handoff, DEFAULT_INLINE_BATCH};
+pub use concurrent::{CommitHook, ConcurrentMap, Handoff, BACKOFF_CAP_US, DEFAULT_INLINE_BATCH};
+pub use context::{in_service_task, ServiceTaskGuard};
 pub use feed::{Bunch, FeedBuffer};
 pub use handoff::ResultCell;
 pub use m1::M1;

@@ -41,11 +41,29 @@
 //! router worker.  When only one shard has work (or `S == 1`) the router
 //! pool is bypassed and the call runs inline on the caller.
 //!
+//! **Service-task callers never run sub-batches inline.**  The
+//! inline-on-caller shortcut assumes the caller is an ordinary OS thread
+//! that may block in `call_batch`'s waiting loop.  A caller that is an
+//! *async service task* (an executor worker polling a `wsm-svc` future —
+//! [`wsm_core::in_service_task`]) must not: the combiner election it would
+//! wait on can depend on other tasks of the same executor being polled, and
+//! with a single executor worker that wait is a deadlock.  When the caller
+//! context is a service task, [`ShardedMap::run_batch`] therefore routes
+//! *every* sub-batch — including a single busy shard, and including `S == 1`
+//! (whose router pool is created lazily on first need) — through the
+//! dedicated router pool: the blocking election runs on a router worker
+//! that is allowed to block, and the service task's wait shrinks to a
+//! bounded join on work actually in progress.  (The genuinely non-blocking
+//! surface for async callers is [`ShardedMap::submit_batch`] +
+//! [`ShardedMap::pump`], which never waits at all — `run_batch` from a
+//! service task is the degraded-but-safe path.)
+//!
 //! ## Knobs
 //!
 //! * `WSM_SHARDS` — default shard count for [`ShardedMap::new`] (default 1).
-//! * `WSM_HANDOFF` — waiter hand-off inside each shard (`doorbell` | `cell`),
-//!   see [`Handoff`]; [`ShardedMap::with_handoff`] overrides per map.
+//! * `WSM_HANDOFF` — waiter hand-off inside each shard (`doorbell` | `cell`
+//!   | `waker`), see [`Handoff`]; [`ShardedMap::with_handoff`] overrides per
+//!   map.
 //! * [`Partitioner`] — pluggable placement: [`HashPartitioner`] (default,
 //!   multiplicative hashing) or [`RangePartitioner`] for ordered workloads.
 
@@ -58,9 +76,9 @@ pub use partition::{HashPartitioner, Partitioner, RangePartitioner};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
-use wsm_core::{BatchedMap, ConcurrentMap, Handoff, OpResult, Operation};
+use wsm_core::{BatchedMap, ConcurrentMap, Handoff, OpResult, Operation, ResultCell};
 
 /// Submitter-ring count for each shard's parallel buffer (the same default a
 /// standalone front-end would pick for a handful of threads).
@@ -119,9 +137,11 @@ pub struct ShardStats {
 pub struct ShardedMap<K, V, M, P = HashPartitioner> {
     shards: Vec<ConcurrentMap<K, V, M>>,
     partitioner: P,
-    /// Dedicated dispatch pool; `None` when there is a single shard (every
-    /// batch then runs inline on the caller).
-    router: Option<wsm_pool::ThreadPool>,
+    /// Dedicated dispatch pool.  Built eagerly for multi-shard maps (whose
+    /// `run_batch` fan-out always needs it) and lazily for `S == 1` maps,
+    /// which only need one if a service-task caller ever shows up (see the
+    /// dispatch discipline in the crate docs).
+    router: OnceLock<wsm_pool::ThreadPool>,
 }
 
 impl<K, V, M> ShardedMap<K, V, M, HashPartitioner>
@@ -140,12 +160,16 @@ where
     /// `make(i)` constructs the batched map for shard `i`.
     pub fn with_shards(shards: usize, mut make: impl FnMut(usize) -> M) -> Self {
         let shards = shards.max(1);
+        let router = OnceLock::new();
+        if shards > 1 {
+            let _ = router.set(wsm_pool::ThreadPool::new(shards));
+        }
         ShardedMap {
             shards: (0..shards)
                 .map(|i| ConcurrentMap::new(make(i), BUFFER_SHARDS))
                 .collect(),
             partitioner: HashPartitioner,
-            router: (shards > 1).then(|| wsm_pool::ThreadPool::new(shards)),
+            router,
         }
     }
 }
@@ -226,6 +250,12 @@ where
         self.shards.len()
     }
 
+    /// The waiter hand-off mode of the shards (uniform across the map —
+    /// [`ShardedMap::with_handoff`] sets all shards at once).
+    pub fn handoff(&self) -> Handoff {
+        self.shards[0].handoff()
+    }
+
     /// The shard that owns `key` under this map's partitioner.
     pub fn shard_of(&self, key: &K) -> usize {
         self.partitioner.shard_of(key, self.shards.len())
@@ -288,20 +318,34 @@ where
         self.shards[shard].delete(caller_hint(), key)
     }
 
+    /// The dedicated router pool, created on first need for `S == 1` maps
+    /// (multi-shard maps build it eagerly in the constructor).
+    fn router(&self) -> &wsm_pool::ThreadPool {
+        self.router
+            .get_or_init(|| wsm_pool::ThreadPool::new(self.shards.len()))
+    }
+
     /// Runs a batch of operations, returning results in operation order.
     ///
     /// The batch is split by the partitioner into per-shard sub-batches;
     /// each sub-batch is one [`ConcurrentMap::call_batch`] on its shard.
     /// With one busy shard the call runs inline on the caller; with several,
     /// sub-batches dispatch concurrently on the router pool (see the crate
-    /// docs for why that pool is dedicated).  Per-key order within the batch
-    /// is preserved — same-key operations stay in one sub-batch, in order.
+    /// docs for why that pool is dedicated).  Exception: when the caller is
+    /// an async service task ([`wsm_core::in_service_task`]), *every*
+    /// sub-batch — even a lone one — dispatches through the router pool, so
+    /// the blocking combiner election never runs on an executor worker.
+    /// Per-key order within the batch is preserved — same-key operations
+    /// stay in one sub-batch, in order.
     pub fn run_batch(&self, ops: Vec<Operation<K, V>>) -> Vec<OpResult<V>> {
         let s = self.shards.len();
         if ops.is_empty() {
             return Vec::new();
         }
-        if s == 1 {
+        // Service tasks must not run a blocking call_batch inline (see the
+        // crate docs' dispatch discipline): push it onto the router pool.
+        let inline_allowed = !wsm_core::in_service_task();
+        if s == 1 && inline_allowed {
             return self.shards[0].call_batch(caller_hint(), ops);
         }
 
@@ -318,7 +362,7 @@ where
         let hint = caller_hint();
         let mut shard_results: Vec<Vec<Option<OpResult<V>>>> = (0..s).map(|_| Vec::new()).collect();
 
-        if busy.len() == 1 {
+        if busy.len() == 1 && inline_allowed {
             // One busy shard: no fan-out to pay for, run on the caller.
             let shard = busy[0];
             let results =
@@ -331,11 +375,7 @@ where
                 .iter()
                 .map(|&i| (i, Mutex::new(Some(std::mem::take(&mut per_shard[i])))))
                 .collect();
-            let router = self
-                .router
-                .as_ref()
-                .expect("multi-shard maps always carry a router pool");
-            let results: Vec<(usize, Vec<OpResult<V>>)> = router.install(|| {
+            let results: Vec<(usize, Vec<OpResult<V>>)> = self.router().install(|| {
                 wsm_pool::par_map(&jobs, |(shard, slot)| {
                     let ops = slot
                         .lock()
@@ -359,6 +399,59 @@ where
                     .expect("every routed slot is filled exactly once")
             })
             .collect()
+    }
+
+    /// Deposits a batch without waiting: the async submission surface.
+    ///
+    /// The batch is split by the partitioner exactly as in
+    /// [`ShardedMap::run_batch`], each sub-batch is deposited into its
+    /// shard's parallel buffer via [`ConcurrentMap::submit_batch`], and the
+    /// returned cells are stitched back into caller order — `cells[i]` is
+    /// operation `i`'s result cell.  Nothing blocks and no combiner runs;
+    /// pair with [`ShardedMap::pump`] and the cells' waker registration
+    /// ([`ResultCell::set_waker`]) to drive completion (this is what
+    /// `wsm-svc` does).
+    pub fn submit_batch(&self, ops: Vec<Operation<K, V>>) -> Vec<Arc<ResultCell<OpResult<V>>>> {
+        let s = self.shards.len();
+        let hint = caller_hint();
+        if s == 1 {
+            return self.shards[0].submit_batch(hint, ops);
+        }
+        let mut per_shard: Vec<Vec<Operation<K, V>>> = (0..s).map(|_| Vec::new()).collect();
+        let mut route = Vec::with_capacity(ops.len());
+        for op in ops {
+            let shard = self.partitioner.shard_of(op.key(), s);
+            route.push((shard, per_shard[shard].len()));
+            per_shard[shard].push(op);
+        }
+        let mut shard_cells: Vec<Vec<Arc<ResultCell<OpResult<V>>>>> =
+            (0..s).map(|_| Vec::new()).collect();
+        for (i, sub) in per_shard.into_iter().enumerate() {
+            if !sub.is_empty() {
+                shard_cells[i] = self.shards[i].submit_batch(hint, sub);
+            }
+        }
+        route
+            .into_iter()
+            .map(|(shard, idx)| Arc::clone(&shard_cells[shard][idx]))
+            .collect()
+    }
+
+    /// Makes one non-blocking combiner-election attempt on every shard with
+    /// buffered work (see [`ConcurrentMap::pump`]).  The caller may become a
+    /// combiner and execute batches inline; it never waits for one.
+    pub fn pump(&self) {
+        for shard in &self.shards {
+            if shard.buffered() {
+                shard.pump();
+            }
+        }
+    }
+
+    /// True if any shard's parallel buffer holds operations not yet claimed
+    /// by a combiner (see [`ConcurrentMap::buffered`]).
+    pub fn buffered(&self) -> bool {
+        self.shards.iter().any(ConcurrentMap::buffered)
     }
 
     /// Batch search: one result per key, in input order.
@@ -552,6 +645,54 @@ mod tests {
                 }
             });
             assert_eq!(map.len(), (threads * per_thread) as usize);
+        }
+    }
+
+    #[test]
+    fn submit_then_pump_fills_cells_in_caller_order() {
+        for shards in [1usize, 4] {
+            let map = sharded(shards).with_handoff(Handoff::Waker);
+            map.insert_batch((0..64u64).map(|k| (k, k * 2)).collect());
+            let ops: Vec<Operation<u64, u64>> = (0..64u64)
+                .map(|k| {
+                    if k % 2 == 0 {
+                        Operation::Search(k)
+                    } else {
+                        Operation::Delete(k)
+                    }
+                })
+                .collect();
+            let cells = map.submit_batch(ops);
+            assert_eq!(cells.len(), 64);
+            assert!(map.buffered(), "deposit must not run the combiner");
+            while cells.iter().any(|c| !c.is_filled()) {
+                map.pump();
+            }
+            for (k, cell) in (0..64u64).zip(&cells) {
+                let expect = if k % 2 == 0 {
+                    OpResult::Search(Some(k * 2))
+                } else {
+                    OpResult::Delete(Some(k * 2))
+                };
+                assert_eq!(cell.try_take(), Some(expect), "S={shards} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn service_task_batches_route_through_router_pool() {
+        // A service-task caller must get correct results through the router
+        // dispatch path for every shard count — including S == 1, whose
+        // router pool is created lazily by this very call.
+        for shards in [1usize, 2, 4] {
+            let map = sharded(shards);
+            let _guard = wsm_core::ServiceTaskGuard::new();
+            let prev = map.insert_batch((0..128u64).map(|k| (k, k + 7)).collect());
+            assert!(prev.iter().all(Option::is_none));
+            let got = map.get_batch((0..128u64).collect());
+            for (k, v) in (0..128u64).zip(got) {
+                assert_eq!(v, Some(k + 7), "S={shards} k={k}");
+            }
         }
     }
 

@@ -1,0 +1,136 @@
+//! Shared Wing–Gong linearizability checker for the workspace property
+//! suites (`tests/property_concurrent.rs`, `tests/property_service.rs`).
+//!
+//! A history is a per-thread (or per-task) list of completed operations,
+//! each carrying its result and an *invoke*/*return* ticket pair from one
+//! global atomic witness clock.  [`linearizable`] searches for a
+//! linearization: a total order of the completed operations that (a)
+//! respects real time (if `a` returned before `b` was invoked, `a` comes
+//! first) and (b) replays correctly against a sequential `BTreeMap` oracle.
+//! The search walks one-op-per-thread frontiers with memoization on
+//! (frontier, oracle state), which keeps it polynomial for property-sized
+//! histories.
+//!
+//! Included via `#[path = "common/linearize.rs"]` from each test target, so
+//! items unused by one target are expected.
+#![allow(dead_code)]
+
+use std::collections::{BTreeMap, HashSet};
+
+/// One operation of a generated history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    Search(u64),
+    Insert(u64, u64),
+    Delete(u64),
+}
+
+/// One completed operation: what ran, what it returned, and its witness
+/// interval.
+#[derive(Clone, Debug)]
+pub struct Done {
+    pub op: Op,
+    /// `Search` → the found value; `Insert`/`Delete` → the previous value.
+    pub result: Option<u64>,
+    pub invoke: u64,
+    pub ret: u64,
+}
+
+/// The key an operation touches.
+pub fn key_of(op: Op) -> u64 {
+    match op {
+        Op::Search(k) | Op::Insert(k, _) | Op::Delete(k) => k,
+    }
+}
+
+/// Projects per-thread histories onto one shard's key set: per-thread order
+/// and witness intervals are preserved, ops owned by other shards drop out.
+pub fn project_onto<F: Fn(u64) -> bool>(histories: &[Vec<Done>], owns: F) -> Vec<Vec<Done>> {
+    histories
+        .iter()
+        .map(|h| h.iter().filter(|d| owns(key_of(d.op))).cloned().collect())
+        .collect()
+}
+
+/// Applies `op` to the oracle; returns whether the recorded result matches.
+pub fn oracle_step(model: &mut BTreeMap<u64, u64>, done: &Done) -> bool {
+    let expected = match done.op {
+        Op::Search(k) => model.get(&k).copied(),
+        Op::Insert(k, v) => model.insert(k, v),
+        Op::Delete(k) => model.remove(&k),
+    };
+    expected == done.result
+}
+
+/// Memo key of the linearization search: (per-thread frontier, oracle
+/// contents).
+type SearchState = (Vec<usize>, Vec<(u64, u64)>);
+
+/// Wing–Gong linearizability check with memoization on
+/// (per-thread frontier, oracle contents).
+pub fn linearizable(histories: &[Vec<Done>]) -> bool {
+    linearizable_from(histories, BTreeMap::new())
+}
+
+/// [`linearizable`] against a map that was preloaded (sequentially, before
+/// any concurrent operation was invoked) with `initial` — used by the
+/// working-set-order and eviction histories, which need a populated segment
+/// cascade so the concurrent ops actually traverse the recency lists.
+pub fn linearizable_from(histories: &[Vec<Done>], initial: BTreeMap<u64, u64>) -> bool {
+    fn dfs(
+        histories: &[Vec<Done>],
+        positions: &mut Vec<usize>,
+        model: &mut BTreeMap<u64, u64>,
+        seen: &mut HashSet<SearchState>,
+    ) -> bool {
+        if positions
+            .iter()
+            .enumerate()
+            .all(|(t, &p)| p == histories[t].len())
+        {
+            return true;
+        }
+        let state_key = (
+            positions.clone(),
+            model.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>(),
+        );
+        if !seen.insert(state_key) {
+            return false;
+        }
+        // The earliest unlinearized return bounds which ops may go next: an
+        // op whose invoke is after some pending op's return cannot precede
+        // it.  Within a thread ops are sequential, so the per-thread next op
+        // carries that thread's minimal pending return.
+        let min_pending_ret = positions
+            .iter()
+            .enumerate()
+            .filter_map(|(t, &p)| histories[t].get(p).map(|d| d.ret))
+            .min()
+            .expect("not all threads are done");
+        for t in 0..histories.len() {
+            let p = positions[t];
+            let Some(done) = histories[t].get(p) else {
+                continue;
+            };
+            if done.invoke > min_pending_ret {
+                continue; // some pending op returned before this one began
+            }
+            let mut trial = model.clone();
+            if !oracle_step(&mut trial, done) {
+                continue;
+            }
+            positions[t] += 1;
+            let ok = dfs(histories, positions, &mut trial, seen);
+            positions[t] -= 1;
+            if ok {
+                return true;
+            }
+        }
+        false
+    }
+
+    let mut positions = vec![0; histories.len()];
+    let mut model = initial;
+    let mut seen = HashSet::new();
+    dfs(histories, &mut positions, &mut model, &mut seen)
+}

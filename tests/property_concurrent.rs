@@ -4,7 +4,8 @@
 //! Random multi-threaded op histories (1–4 worker threads, a tiny overlapping
 //! keyspace so operations genuinely race) are executed against the map while
 //! every operation records an *invoke* and a *return* ticket from one global
-//! atomic witness clock.  A Wing–Gong style checker then searches for a
+//! atomic witness clock.  A Wing–Gong style checker (shared with the async
+//! suite — see `tests/common/linearize.rs`) then searches for a
 //! linearization: a total order of the completed operations that (a) respects
 //! real time (if `a` returned before `b` was invoked, `a` comes first) and
 //! (b) replays correctly against a sequential `BTreeMap` oracle.  The search
@@ -26,31 +27,17 @@
 //! batched (`run_batch`) surface.
 
 use proptest::prelude::*;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use wsm_core::{BatchedMap, ConcurrentMap, Handoff, M1, M2};
 use wsm_shard::{Partitioner, ShardedMap};
 use wsm_sync::MpscShard;
 
-/// One operation of a generated history.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Op {
-    Search(u64),
-    Insert(u64, u64),
-    Delete(u64),
-}
+#[path = "common/linearize.rs"]
+mod linearize;
 
-/// One completed operation: what ran, what it returned, and its witness
-/// interval.
-#[derive(Clone, Debug)]
-struct Done {
-    op: Op,
-    /// `Search` → the found value; `Insert`/`Delete` → the previous value.
-    result: Option<u64>,
-    invoke: u64,
-    ret: u64,
-}
+use linearize::{linearizable, linearizable_from, project_onto, Done, Op};
 
 /// Builds per-thread op lists from generated `(kind, key)` pairs; insert
 /// values are globally unique so the oracle can distinguish every write.
@@ -109,13 +96,6 @@ where
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     })
-}
-
-/// The key an operation touches.
-fn key_of(op: Op) -> u64 {
-    match op {
-        Op::Search(k) | Op::Insert(k, _) | Op::Delete(k) => k,
-    }
 }
 
 /// Runs every thread's ops against a sharded map through its single-op API,
@@ -210,15 +190,6 @@ where
     })
 }
 
-/// Projects per-thread histories onto one shard's key set: per-thread order
-/// and witness intervals are preserved, ops owned by other shards drop out.
-fn project_onto<F: Fn(u64) -> bool>(histories: &[Vec<Done>], owns: F) -> Vec<Vec<Done>> {
-    histories
-        .iter()
-        .map(|h| h.iter().filter(|d| owns(key_of(d.op))).cloned().collect())
-        .collect()
-}
-
 /// Executes a history against `ShardedMap` (both hand-off modes, single-op
 /// and batched surfaces) and asserts each shard's projected history
 /// linearizes.
@@ -246,89 +217,6 @@ fn check_sharded(per_thread: &[Vec<Op>], shards: usize) {
             );
         }
     }
-}
-
-/// Applies `op` to the oracle; returns whether the recorded result matches.
-fn oracle_step(model: &mut BTreeMap<u64, u64>, done: &Done) -> bool {
-    let expected = match done.op {
-        Op::Search(k) => model.get(&k).copied(),
-        Op::Insert(k, v) => model.insert(k, v),
-        Op::Delete(k) => model.remove(&k),
-    };
-    expected == done.result
-}
-
-/// Memo key of the linearization search: (per-thread frontier, oracle
-/// contents).
-type SearchState = (Vec<usize>, Vec<(u64, u64)>);
-
-/// Wing–Gong linearizability check with memoization on
-/// (per-thread frontier, oracle contents).
-fn linearizable(histories: &[Vec<Done>]) -> bool {
-    linearizable_from(histories, BTreeMap::new())
-}
-
-/// [`linearizable`] against a map that was preloaded (sequentially, before
-/// any concurrent operation was invoked) with `initial` — used by the
-/// working-set-order and eviction histories, which need a populated segment
-/// cascade so the concurrent ops actually traverse the recency lists.
-fn linearizable_from(histories: &[Vec<Done>], initial: BTreeMap<u64, u64>) -> bool {
-    fn dfs(
-        histories: &[Vec<Done>],
-        positions: &mut Vec<usize>,
-        model: &mut BTreeMap<u64, u64>,
-        seen: &mut HashSet<SearchState>,
-    ) -> bool {
-        if positions
-            .iter()
-            .enumerate()
-            .all(|(t, &p)| p == histories[t].len())
-        {
-            return true;
-        }
-        let state_key = (
-            positions.clone(),
-            model.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>(),
-        );
-        if !seen.insert(state_key) {
-            return false;
-        }
-        // The earliest unlinearized return bounds which ops may go next: an
-        // op whose invoke is after some pending op's return cannot precede
-        // it.  Within a thread ops are sequential, so the per-thread next op
-        // carries that thread's minimal pending return.
-        let min_pending_ret = positions
-            .iter()
-            .enumerate()
-            .filter_map(|(t, &p)| histories[t].get(p).map(|d| d.ret))
-            .min()
-            .expect("not all threads are done");
-        for t in 0..histories.len() {
-            let p = positions[t];
-            let Some(done) = histories[t].get(p) else {
-                continue;
-            };
-            if done.invoke > min_pending_ret {
-                continue; // some pending op returned before this one began
-            }
-            let mut trial = model.clone();
-            if !oracle_step(&mut trial, done) {
-                continue;
-            }
-            positions[t] += 1;
-            let ok = dfs(histories, positions, &mut trial, seen);
-            positions[t] -= 1;
-            if ok {
-                return true;
-            }
-        }
-        false
-    }
-
-    let mut positions = vec![0; histories.len()];
-    let mut model = initial;
-    let mut seen = HashSet::new();
-    dfs(histories, &mut positions, &mut model, &mut seen)
 }
 
 /// Preloads an M1-backed map sequentially, executes the history at both
